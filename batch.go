@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchOptions extends SearchOptions with a parallelism degree for
+// running a whole workload (the paper runs 1,000-query workloads, §5.3).
+type BatchOptions struct {
+	SearchOptions
+	// Parallelism is the number of worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// SearchBatch runs every query and returns the results in query order.
+// Queries execute concurrently; each Result carries its own simulated
+// time (the simulation models one 2005 machine per query, so simulated
+// times are per-query, not wall-aggregated).
+func (ix *Index) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				results[qi], errs[qi] = ix.Search(queries[qi], opts.SearchOptions)
+			}
+		}()
+	}
+	for qi := range queries {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+
+	for qi, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("repro: batch query %d: %w", qi, err)
+		}
+	}
+	return results, nil
+}

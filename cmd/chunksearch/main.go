@@ -1,0 +1,64 @@
+// Command chunksearch runs k-NN queries against a chunk index with any of
+// the paper's stop rules (§4.3) and reports quality and simulated time.
+//
+// Usage:
+//
+//	chunksearch -coll collection.desc -index index -queries 20 -k 30 -chunks 5
+//	chunksearch -coll collection.desc -index index -time 500ms
+//	chunksearch -coll collection.desc -index index            # run to completion
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	collPath := flag.String("coll", "collection.desc", "collection file (query source + ground truth)")
+	indexPrefix := flag.String("index", "index", "index path prefix (expects .chunk and .idx)")
+	queries := flag.Int("queries", 10, "number of DQ queries to run")
+	k := flag.Int("k", 30, "neighbors per query")
+	chunks := flag.Int("chunks", 0, "stop after this many chunks (0 = off)")
+	budget := flag.Duration("time", 0, "stop after this much simulated time (0 = off)")
+	seed := flag.Int64("seed", 9, "query sampling seed")
+	flag.Parse()
+
+	coll, err := repro.LoadCollection(*collPath)
+	if err != nil {
+		log.Fatalf("chunksearch: %v", err)
+	}
+	idx, err := repro.Open(*indexPrefix+".chunk", *indexPrefix+".idx")
+	if err != nil {
+		log.Fatalf("chunksearch: %v", err)
+	}
+	defer idx.Close()
+
+	qs, err := repro.DatasetQueries(coll, *queries, *seed)
+	if err != nil {
+		log.Fatalf("chunksearch: %v", err)
+	}
+	opts := repro.SearchOptions{K: *k, MaxChunks: *chunks, MaxTime: *budget, Overlap: true}
+
+	var sumPrec, sumSim float64
+	var sumChunks int
+	for qi, q := range qs {
+		res, err := idx.Search(q, opts)
+		if err != nil {
+			log.Fatalf("chunksearch: query %d: %v", qi, err)
+		}
+		truth := repro.Exact(coll, q, *k)
+		p := repro.Precision(res.Neighbors, truth)
+		sumPrec += p
+		sumSim += res.Simulated.Seconds()
+		sumChunks += res.ChunksRead
+		fmt.Printf("query %2d: %2d chunks, sim %8.3fs, wall %8v, precision %.2f, exact=%v\n",
+			qi, res.ChunksRead, res.Simulated.Seconds(), res.Wall.Round(time.Microsecond), p, res.Exact)
+	}
+	n := float64(len(qs))
+	fmt.Printf("\navg: %.1f chunks, %.3fs simulated, precision %.3f\n",
+		float64(sumChunks)/n, sumSim/n, sumPrec/n)
+}

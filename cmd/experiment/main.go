@@ -1,0 +1,209 @@
+// Command experiment regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiment -exp all                 # everything (takes a few minutes)
+//	experiment -exp table1,fig1,fig2
+//	REPRO_N=50000 experiment -exp table2
+//
+// Output goes to stdout; progress to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig3,fig4,fig5,table2,fig6,fig7,buildtime,comparators,lessons,ablations,all")
+	nFlag := flag.Int("n", 0, "collection size override (also REPRO_N)")
+	qFlag := flag.Int("queries", 0, "workload size override (also REPRO_QUERIES)")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *nFlag > 0 {
+		cfg.N = *nFlag
+	}
+	if *qFlag > 0 {
+		cfg.Queries = *qFlag
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		log.Fatalf("experiment: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "lab ready in %v (n=%d, queries=%d)\n",
+		time.Since(start).Round(time.Second), cfg.N, cfg.Queries)
+
+	out := os.Stdout
+	section := func(f func() error) {
+		if err := f(); err != nil {
+			log.Fatalf("experiment: %v", err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if need("table1") {
+		section(func() error { experiments.Table1(lab).Render(out); return nil })
+	}
+	if need("fig1") {
+		section(func() error { experiments.Figure1(lab, 30).Render(out); return nil })
+	}
+	if need("fig2") {
+		section(func() error {
+			r, err := experiments.Figure23(lab, "DQ")
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("fig3") {
+		section(func() error {
+			r, err := experiments.Figure23(lab, "SQ")
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("fig4") {
+		section(func() error {
+			r, err := experiments.Figure45(lab, "DQ")
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("fig5") {
+		section(func() error {
+			r, err := experiments.Figure45(lab, "SQ")
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("table2") {
+		section(func() error {
+			r, err := experiments.Table2(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("fig6") {
+		section(func() error {
+			r, err := experiments.Figure67(lab, "DQ", nil, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("fig7") {
+		section(func() error {
+			r, err := experiments.Figure67(lab, "SQ", nil, nil)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("buildtime") {
+		section(func() error { experiments.BuildTime(lab).Render(out); return nil })
+	}
+	if need("lessons") {
+		section(func() error {
+			r, err := experiments.Lessons(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("comparators") {
+		section(func() error {
+			r, err := experiments.Comparators(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	if need("ablations") {
+		section(func() error {
+			r, err := experiments.AblationOverlap(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+		section(func() error {
+			r, err := experiments.AblationStrategies(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+		section(func() error {
+			r, err := experiments.AblationNaiveBag(lab, 4000)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+		section(func() error {
+			r, err := experiments.AblationNormOutlier(lab)
+			if err != nil {
+				return err
+			}
+			r.Render(out)
+			return nil
+		})
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+}

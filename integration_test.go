@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEndToEndFilePipeline exercises the full production flow: generate a
+// collection, persist it, reload it, build each strategy's index, persist
+// the index, reopen it, and verify searches against the scan oracle —
+// the cmd/descgen → cmd/chunkbuild → cmd/chunksearch path at library level.
+func TestEndToEndFilePipeline(t *testing.T) {
+	dir := t.TempDir()
+	collPath := filepath.Join(dir, "collection.desc")
+
+	gen := GenerateCollection(8000, 99)
+	if err := SaveCollection(gen, collPath); err != nil {
+		t.Fatal(err)
+	}
+	coll, err := LoadCollection(collPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != gen.Len() {
+		t.Fatalf("reloaded %d of %d descriptors", coll.Len(), gen.Len())
+	}
+
+	queries, err := DatasetQueries(coll, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, strat := range []Strategy{StrategySRTree, StrategyHybrid, StrategyRoundRobin} {
+		built, err := Build(coll, BuildConfig{Strategy: strat, ChunkSize: 250, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		cp := filepath.Join(dir, string(strat)+".chunk")
+		ip := filepath.Join(dir, string(strat)+".idx")
+		if err := built.Save(cp, ip); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		opened, err := Open(cp, ip)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for qi, q := range queries {
+			res, err := opened.Search(q, SearchOptions{K: 10})
+			if err != nil {
+				t.Fatalf("%s q%d: %v", strat, qi, err)
+			}
+			truth := Exact(coll, q, 10)
+			if p := Precision(res.Neighbors, truth); p != 1 {
+				t.Fatalf("%s q%d: completion precision %v", strat, qi, p)
+			}
+		}
+		if err := opened.Close(); err != nil {
+			t.Fatalf("%s: close: %v", strat, err)
+		}
+	}
+}
+
+// TestSearchBatchMatchesSequential verifies the parallel batch runner
+// returns exactly the sequential per-query results, in order.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	coll := GenerateCollection(6000, 5)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := DatasetQueries(coll, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SearchOptions{K: 15, MaxChunks: 4}
+	batch, err := idx.SearchBatch(queries, BatchOptions{SearchOptions: opts, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d of %d", len(batch), len(queries))
+	}
+	for qi, q := range queries {
+		seq, err := idx.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Neighbors) != len(batch[qi].Neighbors) {
+			t.Fatalf("q%d: lengths differ", qi)
+		}
+		for i := range seq.Neighbors {
+			if math.Abs(seq.Neighbors[i].Dist-batch[qi].Neighbors[i].Dist) > 1e-12 {
+				t.Fatalf("q%d rank %d: batch diverges from sequential", qi, i)
+			}
+		}
+		if batch[qi].ChunksRead != seq.ChunksRead {
+			t.Fatalf("q%d: chunks %d vs %d", qi, batch[qi].ChunksRead, seq.ChunksRead)
+		}
+	}
+}
+
+func TestSearchBatchEdges(t *testing.T) {
+	coll := GenerateCollection(2000, 6)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.SearchBatch(nil, BatchOptions{})
+	if err != nil || res != nil {
+		t.Fatalf("empty batch: %v %v", res, err)
+	}
+	// More workers than queries must not deadlock.
+	queries, _ := DatasetQueries(coll, 2, 1)
+	res, err = idx.SearchBatch(queries, BatchOptions{Parallelism: 16})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("tiny batch: %v %v", res, err)
+	}
+}
+
+// TestCorruptIndexFilesRejected is the failure-injection counterpart of
+// the save/open round-trip: every mangled artifact must produce an error,
+// never a silent wrong result.
+func TestCorruptIndexFilesRejected(t *testing.T) {
+	dir := t.TempDir()
+	coll := GenerateCollection(3000, 7)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ip := filepath.Join(dir, "a.chunk"), filepath.Join(dir, "a.idx")
+	if err := idx.Save(cp, ip); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(path string, mutate func([]byte) []byte) string {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := filepath.Join(dir, "corrupt-"+filepath.Base(path))
+		if err := os.WriteFile(out, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Bad magic in the index file.
+	badIdx := corrupt(ip, func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	if _, err := Open(cp, badIdx); err == nil {
+		t.Fatal("bad index magic accepted")
+	}
+	// Truncated index file.
+	shortIdx := corrupt(ip, func(b []byte) []byte { return b[:len(b)-13] })
+	if _, err := Open(cp, shortIdx); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+	// Bad magic in the chunk file.
+	badChunk := corrupt(cp, func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	if _, err := Open(badChunk, ip); err == nil {
+		t.Fatal("bad chunk magic accepted")
+	}
+	// Chunk file truncated below the last chunk: opening may succeed, but
+	// reading the missing chunk must fail.
+	shortChunk := corrupt(cp, func(b []byte) []byte { return b[:len(b)/2] })
+	if opened, err := Open(shortChunk, ip); err == nil {
+		defer opened.Close()
+		q := coll.Vec(0)
+		if _, err := opened.Search(q, SearchOptions{K: 5}); err == nil {
+			t.Fatal("search over truncated chunk file succeeded")
+		}
+	}
+	// Collection file corruption.
+	collPath := filepath.Join(dir, "c.desc")
+	if err := SaveCollection(coll, collPath); err != nil {
+		t.Fatal(err)
+	}
+	badColl := corrupt(collPath, func(b []byte) []byte { return b[:len(b)-7] })
+	if _, err := LoadCollection(badColl); err == nil {
+		t.Fatal("truncated collection accepted")
+	}
+}
+
+// TestDeterministicPipeline: identical seeds must yield identical indexes
+// and identical search results across independent runs.
+func TestDeterministicPipeline(t *testing.T) {
+	run := func() []Neighbor {
+		coll := GenerateCollection(4000, 123)
+		idx, err := Build(coll, BuildConfig{Strategy: StrategyHybrid, ChunkSize: 150, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := idx.Search(coll.Vec(77), SearchOptions{K: 12, MaxChunks: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Neighbors
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs across runs", i)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package bag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/vec"
+)
+
+// blobs generates k well-separated Gaussian blobs of m points each, plus
+// scattered noise points.
+func blobs(seed int64, k, m, noise int, dims int) *descriptor.Collection {
+	r := rand.New(rand.NewSource(seed))
+	coll := descriptor.NewCollection(dims, k*m+noise)
+	centers := make([]vec.Vector, k)
+	for i := range centers {
+		c := make(vec.Vector, dims)
+		for d := range c {
+			c[d] = float32(r.NormFloat64() * 100)
+		}
+		centers[i] = c
+	}
+	id := 0
+	v := make(vec.Vector, dims)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			for d := range v {
+				v[d] = centers[i][d] + float32(r.NormFloat64()*2)
+			}
+			coll.Append(descriptor.ID(id), v)
+			id++
+		}
+	}
+	for j := 0; j < noise; j++ {
+		for d := range v {
+			v[d] = float32((r.Float64()*2 - 1) * 160)
+		}
+		coll.Append(descriptor.ID(id), v)
+		id++
+	}
+	return coll
+}
+
+func checkSnapshot(t *testing.T, coll *descriptor.Collection, s Snapshot) {
+	t.Helper()
+	// Every descriptor is either retained in exactly one cluster or an
+	// outlier; no duplicates, no losses.
+	seen := make([]bool, coll.Len())
+	mark := func(i int) {
+		if seen[i] {
+			t.Fatalf("descriptor %d appears twice", i)
+		}
+		seen[i] = true
+	}
+	for _, c := range s.Clusters {
+		if err := c.Validate(coll); err != nil {
+			t.Fatalf("invalid cluster: %v", err)
+		}
+		for _, m := range c.Members {
+			mark(m)
+		}
+	}
+	for _, o := range s.Outliers {
+		mark(o)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("descriptor %d lost", i)
+		}
+	}
+}
+
+func TestNaiveOnBlobs(t *testing.T) {
+	coll := blobs(1, 5, 40, 10, 8)
+	cfg := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{20}, Seed: 1, MaxPasses: 300}
+	snaps, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	s := snaps[0]
+	checkSnapshot(t, coll, s)
+	if len(s.Clusters) == 0 || len(s.Clusters) >= 20 {
+		t.Fatalf("cluster count %d out of range", len(s.Clusters))
+	}
+}
+
+func TestAcceleratedOnBlobs(t *testing.T) {
+	coll := blobs(1, 5, 40, 10, 8)
+	cfg := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{20}, Seed: 1, MaxPasses: 300, Accelerated: true}
+	snaps, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSnapshot(t, coll, snaps[0])
+}
+
+// The accelerated variant must behave like the naive one at the
+// distribution level: similar cluster counts and similar outlier mass on
+// the same input (exact equality is not expected — candidate order
+// differs; see DESIGN.md §2).
+func TestAcceleratedMatchesNaiveShape(t *testing.T) {
+	coll := blobs(7, 6, 30, 12, 8)
+	base := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{25}, Seed: 1, MaxPasses: 300}
+	nv, err := Run(coll, base)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	acc := base
+	acc.Accelerated = true
+	av, err := Run(coll, acc)
+	if err != nil {
+		t.Fatalf("accelerated: %v", err)
+	}
+	nc, ac := len(nv[0].Clusters), len(av[0].Clusters)
+	if nc == 0 || ac == 0 {
+		t.Fatalf("empty clustering: naive=%d accelerated=%d", nc, ac)
+	}
+	ratio := float64(ac) / float64(nc)
+	if ratio < 0.3 || ratio > 3.0 {
+		t.Fatalf("cluster counts diverge: naive=%d accelerated=%d", nc, ac)
+	}
+	no, ao := nv[0].OutlierFraction(), av[0].OutlierFraction()
+	if no > 0.5 || ao > 0.5 {
+		t.Fatalf("excessive outliers: naive=%.2f accelerated=%.2f", no, ao)
+	}
+}
+
+// Multiple thresholds must come back in run order with weakly decreasing
+// cluster counts and each snapshot internally consistent.
+func TestSuccessiveSnapshots(t *testing.T) {
+	coll := blobs(3, 8, 40, 20, 8)
+	cfg := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{60, 30, 15}, Seed: 2, MaxPasses: 400, Accelerated: true}
+	snaps, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for i, s := range snaps {
+		checkSnapshot(t, coll, s)
+		if i > 0 {
+			if s.Passes < snaps[i-1].Passes {
+				t.Fatalf("snapshot %d passes went backwards", i)
+			}
+			if len(s.Clusters)+len(s.Outliers) > len(snaps[i-1].Clusters)+cluster.TotalMembers(snaps[i-1].Clusters) {
+				// count sanity only; the strict check is the threshold one below
+				t.Logf("note: snapshot sizes %d vs %d", len(s.Clusters), len(snaps[i-1].Clusters))
+			}
+		}
+		if len(s.Clusters) >= s.Threshold {
+			t.Fatalf("snapshot %d has %d clusters, >= threshold %d", i, len(s.Clusters), s.Threshold)
+		}
+	}
+	// Coarser clustering ⇒ larger mean population.
+	m0 := cluster.Summarize(snaps[0].Clusters).MeanSize
+	m2 := cluster.Summarize(snaps[2].Clusters).MeanSize
+	if m2 <= m0 {
+		t.Fatalf("mean size did not grow with coarser threshold: %.1f -> %.1f", m0, m2)
+	}
+}
+
+// On the skewed synthetic image collection BAG must produce the paper's
+// signature: a heavily non-uniform size distribution with giant clusters
+// (Fig. 1) and a noticeable outlier fraction (Table 1: 8-12%).
+func TestSkewProducesGiantClustersAndOutliers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(8000, 42))
+	coll := ds.Collection
+	cfg := DefaultConfig(coll.Len(), 40, 80)
+	cfg.MaxPasses = 400
+	snaps, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snaps[len(snaps)-1]
+	checkSnapshot(t, coll, s)
+	sizes := cluster.LargestSizes(s.Clusters, 30)
+	stats := cluster.Summarize(s.Clusters)
+	if float64(sizes[0]) < 3*stats.MeanSize {
+		t.Fatalf("largest cluster %d not ≫ mean %.0f: size skew missing", sizes[0], stats.MeanSize)
+	}
+	of := s.OutlierFraction()
+	if of < 0.01 || of > 0.45 {
+		t.Fatalf("outlier fraction %.3f implausible", of)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	coll := blobs(1, 2, 5, 0, 4)
+	cases := []Config{
+		{MPI: 0, DestroyFrac: 0.2, Thresholds: []int{5}},
+		{MPI: 1, DestroyFrac: -0.1, Thresholds: []int{5}},
+		{MPI: 1, DestroyFrac: 0.2, Thresholds: nil},
+		{MPI: 1, DestroyFrac: 0.2, Thresholds: []int{1}},
+		{MPI: 1, DestroyFrac: 0.2, Thresholds: []int{5, 5}},
+		{MPI: 1, DestroyFrac: 0.2, Thresholds: []int{5, 8}},
+		{MPI: 1, DestroyFrac: 0.2, Thresholds: []int{100}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(coll, cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	empty := descriptor.NewCollection(4, 0)
+	if _, err := Run(empty, Config{MPI: 1, DestroyFrac: 0.2, Thresholds: []int{5}}); err == nil {
+		t.Error("expected error for empty collection")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	coll := blobs(5, 4, 25, 8, 6)
+	cfg := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{15}, Seed: 9, MaxPasses: 300, Accelerated: true}
+	a, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a[0].Clusters) != len(b[0].Clusters) || len(a[0].Outliers) != len(b[0].Outliers) {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d clusters/outliers",
+			len(a[0].Clusters), len(a[0].Outliers), len(b[0].Clusters), len(b[0].Outliers))
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	coll := blobs(2, 3, 20, 5, 6)
+	calls := 0
+	cfg := Config{MPI: 3, DestroyFrac: 0.2, Thresholds: []int{10}, MaxPasses: 300, Accelerated: true,
+		Progress: func(pass, clusters int) { calls++ }}
+	if _, err := Run(coll, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Progress never called")
+	}
+}
+
+func BenchmarkBAGAccelerated5k(b *testing.B) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(5000, 1))
+	cfg := DefaultConfig(ds.Collection.Len(), 100)
+	cfg.MaxPasses = 500
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds.Collection, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package chunkfile implements the paper's chunk index architecture
+// (§4.2): two files, a chunk file and an index file.
+//
+// The chunk file holds all retained descriptors grouped by chunk; all
+// descriptors of a chunk are stored together and chunks are stored
+// sequentially, each padded to occupy full disk pages. The index file
+// stores, per chunk and in chunk-file order, the chunk's centroid, its
+// bounding radius, and its location in the chunk file.
+package chunkfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/vec"
+)
+
+// DefaultPageSize is the disk page granularity chunks are padded to.
+const DefaultPageSize = 8192
+
+const (
+	chunkMagic = "EFF2CHNK"
+	indexMagic = "EFF2CIDX"
+)
+
+// Meta describes one chunk as recorded in the index file.
+type Meta struct {
+	Centroid vec.Vector
+	Radius   float64
+	Offset   int64 // byte offset of the chunk in the chunk file
+	Bytes    int   // padded on-disk length in bytes
+	Count    int   // number of descriptors
+}
+
+// EntrySize returns the on-disk size of one index entry for the given
+// dimensionality: centroid + radius + offset + bytes + count.
+func EntrySize(dims int) int { return dims*4 + 8 + 8 + 4 + 4 }
+
+// Data is the decoded payload of one chunk.
+type Data struct {
+	IDs  []descriptor.ID
+	Vecs []float32 // flattened, Count × dims
+	dims int
+}
+
+// Len returns the number of descriptors in the chunk.
+func (d *Data) Len() int { return len(d.IDs) }
+
+// Vec returns the i-th vector, aliasing the chunk buffer.
+func (d *Data) Vec(i int) vec.Vector { return vec.Vector(d.Vecs[i*d.dims : (i+1)*d.dims]) }
+
+// Store is the read interface the search algorithm consumes. FileStore
+// serves from the two on-disk files; MemStore serves from memory (used by
+// tests and pure-simulation experiments — the timing figures come from the
+// simdisk model either way).
+type Store interface {
+	// Dims returns the descriptor dimensionality.
+	Dims() int
+	// Meta returns the chunk index in chunk-file order. Callers must not
+	// modify it.
+	Meta() []Meta
+	// ReadChunk decodes chunk i into data, reusing its buffers.
+	ReadChunk(i int, data *Data) error
+	// Close releases resources.
+	Close() error
+}
+
+// Write builds the two files from a clustering. Chunks appear in the
+// given cluster order; each cluster's centroid and radius are trusted as
+// given (builders recompute exact values beforehand).
+func Write(coll *descriptor.Collection, clusters []*cluster.Cluster, chunkPath, indexPath string, pageSize int) error {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	dims := coll.Dims()
+
+	cf, err := os.Create(chunkPath)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	cw := bufio.NewWriterSize(cf, 1<<20)
+
+	// Chunk file header.
+	if _, err := cw.WriteString(chunkMagic); err != nil {
+		return err
+	}
+	var head [12]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(dims))
+	binary.LittleEndian.PutUint32(head[4:8], uint32(pageSize))
+	binary.LittleEndian.PutUint32(head[8:12], uint32(len(clusters)))
+	if _, err := cw.Write(head[:]); err != nil {
+		return err
+	}
+
+	// The first chunk starts on a page boundary after the header.
+	offset := int64(pageCeil(8+12, pageSize))
+	if err := padTo(cw, 8+12, int(offset)); err != nil {
+		return err
+	}
+
+	metas := make([]Meta, len(clusters))
+	rec := make([]byte, 4+dims*4)
+	for ci, cl := range clusters {
+		raw := cl.Count() * len(rec)
+		padded := pageCeil(raw, pageSize)
+		metas[ci] = Meta{
+			Centroid: cl.Centroid.Clone(),
+			Radius:   cl.Radius,
+			Offset:   offset,
+			Bytes:    padded,
+			Count:    cl.Count(),
+		}
+		for _, m := range cl.Members {
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(coll.IDAt(m)))
+			v := coll.Vec(m)
+			for d, x := range v {
+				binary.LittleEndian.PutUint32(rec[4+d*4:8+d*4], math.Float32bits(x))
+			}
+			if _, err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		for p := raw; p < padded; p++ {
+			if err := cw.WriteByte(0); err != nil {
+				return err
+			}
+		}
+		offset += int64(padded)
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	if err := cf.Sync(); err != nil {
+		return err
+	}
+
+	return writeIndex(indexPath, dims, metas)
+}
+
+func writeIndex(path string, dims int, metas []Meta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(indexMagic); err != nil {
+		return err
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(dims))
+	binary.LittleEndian.PutUint32(head[4:8], uint32(len(metas)))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, EntrySize(dims))
+	for _, m := range metas {
+		o := 0
+		for _, x := range m.Centroid {
+			binary.LittleEndian.PutUint32(buf[o:o+4], math.Float32bits(x))
+			o += 4
+		}
+		binary.LittleEndian.PutUint64(buf[o:o+8], math.Float64bits(m.Radius))
+		o += 8
+		binary.LittleEndian.PutUint64(buf[o:o+8], uint64(m.Offset))
+		o += 8
+		binary.LittleEndian.PutUint32(buf[o:o+4], uint32(m.Bytes))
+		o += 4
+		binary.LittleEndian.PutUint32(buf[o:o+4], uint32(m.Count))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func pageCeil(n, page int) int {
+	if n%page == 0 {
+		return n
+	}
+	return (n/page + 1) * page
+}
+
+func padTo(w *bufio.Writer, from, to int) error {
+	for i := from; i < to; i++ {
+		if err := w.WriteByte(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Errors returned by the readers.
+var (
+	ErrBadMagic = errors.New("chunkfile: bad magic")
+	ErrChunkOOB = errors.New("chunkfile: chunk index out of range")
+)
+
+// FileStore reads a chunk index from its two files.
+type FileStore struct {
+	f     *os.File
+	dims  int
+	page  int
+	metas []Meta
+}
+
+var _ Store = (*FileStore)(nil)
+
+// Open maps the pair of files written by Write.
+func Open(chunkPath, indexPath string) (*FileStore, error) {
+	metas, dims, err := readIndex(indexPath)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(chunkPath)
+	if err != nil {
+		return nil, err
+	}
+	var head [20]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("chunkfile: reading chunk header: %w", err)
+	}
+	if string(head[:8]) != chunkMagic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	cd := int(binary.LittleEndian.Uint32(head[8:12]))
+	page := int(binary.LittleEndian.Uint32(head[12:16]))
+	nc := int(binary.LittleEndian.Uint32(head[16:20]))
+	if cd != dims {
+		f.Close()
+		return nil, fmt.Errorf("chunkfile: chunk file dims %d != index dims %d", cd, dims)
+	}
+	if nc != len(metas) {
+		f.Close()
+		return nil, fmt.Errorf("chunkfile: chunk file has %d chunks, index has %d", nc, len(metas))
+	}
+	return &FileStore{f: f, dims: dims, page: page, metas: metas}, nil
+}
+
+func readIndex(path string) ([]Meta, int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < 16 || string(raw[:8]) != indexMagic {
+		return nil, 0, ErrBadMagic
+	}
+	dims := int(binary.LittleEndian.Uint32(raw[8:12]))
+	n := int(binary.LittleEndian.Uint32(raw[12:16]))
+	es := EntrySize(dims)
+	if len(raw) != 16+n*es {
+		return nil, 0, fmt.Errorf("chunkfile: index size %d != expected %d", len(raw), 16+n*es)
+	}
+	metas := make([]Meta, n)
+	o := 16
+	for i := 0; i < n; i++ {
+		c := make(vec.Vector, dims)
+		for d := 0; d < dims; d++ {
+			c[d] = math.Float32frombits(binary.LittleEndian.Uint32(raw[o : o+4]))
+			o += 4
+		}
+		r := math.Float64frombits(binary.LittleEndian.Uint64(raw[o : o+8]))
+		o += 8
+		off := int64(binary.LittleEndian.Uint64(raw[o : o+8]))
+		o += 8
+		b := int(binary.LittleEndian.Uint32(raw[o : o+4]))
+		o += 4
+		cnt := int(binary.LittleEndian.Uint32(raw[o : o+4]))
+		o += 4
+		metas[i] = Meta{Centroid: c, Radius: r, Offset: off, Bytes: b, Count: cnt}
+	}
+	return metas, dims, nil
+}
+
+// Dims implements Store.
+func (s *FileStore) Dims() int { return s.dims }
+
+// Meta implements Store.
+func (s *FileStore) Meta() []Meta { return s.metas }
+
+// ReadChunk implements Store. It issues exactly one positioned read of the
+// chunk's padded extent, mirroring the paper's one-chunk-one-read access
+// pattern.
+func (s *FileStore) ReadChunk(i int, data *Data) error {
+	if i < 0 || i >= len(s.metas) {
+		return ErrChunkOOB
+	}
+	m := s.metas[i]
+	buf := make([]byte, m.Bytes)
+	if _, err := s.f.ReadAt(buf, m.Offset); err != nil {
+		return fmt.Errorf("chunkfile: chunk %d: %w", i, err)
+	}
+	decode(buf, m.Count, s.dims, data)
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+func decode(buf []byte, count, dims int, data *Data) {
+	data.dims = dims
+	data.IDs = data.IDs[:0]
+	data.Vecs = data.Vecs[:0]
+	rec := 4 + dims*4
+	for k := 0; k < count; k++ {
+		o := k * rec
+		data.IDs = append(data.IDs, descriptor.ID(binary.LittleEndian.Uint32(buf[o:o+4])))
+		o += 4
+		for d := 0; d < dims; d++ {
+			data.Vecs = append(data.Vecs, math.Float32frombits(binary.LittleEndian.Uint32(buf[o:o+4])))
+			o += 4
+		}
+	}
+}
+
+// MemStore is an in-memory Store with the same padded-size accounting as
+// FileStore, so simulated timings are identical.
+type MemStore struct {
+	dims   int
+	metas  []Meta
+	ids    [][]descriptor.ID
+	vecs   [][]float32
+	closed bool
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore builds an in-memory store from a clustering.
+func NewMemStore(coll *descriptor.Collection, clusters []*cluster.Cluster, pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	dims := coll.Dims()
+	s := &MemStore{dims: dims}
+	offset := int64(pageSize)
+	rec := 4 + dims*4
+	for _, cl := range clusters {
+		raw := cl.Count() * rec
+		padded := pageCeil(raw, pageSize)
+		s.metas = append(s.metas, Meta{
+			Centroid: cl.Centroid.Clone(),
+			Radius:   cl.Radius,
+			Offset:   offset,
+			Bytes:    padded,
+			Count:    cl.Count(),
+		})
+		ids := make([]descriptor.ID, 0, cl.Count())
+		vs := make([]float32, 0, cl.Count()*dims)
+		for _, m := range cl.Members {
+			ids = append(ids, coll.IDAt(m))
+			vs = append(vs, coll.Vec(m)...)
+		}
+		s.ids = append(s.ids, ids)
+		s.vecs = append(s.vecs, vs)
+		offset += int64(padded)
+	}
+	return s
+}
+
+// Dims implements Store.
+func (s *MemStore) Dims() int { return s.dims }
+
+// Meta implements Store.
+func (s *MemStore) Meta() []Meta { return s.metas }
+
+// ReadChunk implements Store.
+func (s *MemStore) ReadChunk(i int, data *Data) error {
+	if i < 0 || i >= len(s.metas) {
+		return ErrChunkOOB
+	}
+	data.dims = s.dims
+	data.IDs = append(data.IDs[:0], s.ids[i]...)
+	data.Vecs = append(data.Vecs[:0], s.vecs[i]...)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.closed = true
+	return nil
+}

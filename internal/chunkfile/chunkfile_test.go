@@ -1,0 +1,201 @@
+package chunkfile
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/vec"
+)
+
+// makeClusters builds a small collection and a 3-chunk clustering.
+func makeClusters(t testing.TB) (*descriptor.Collection, []*cluster.Cluster) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	coll := descriptor.NewCollection(vec.Dims, 100)
+	v := make(vec.Vector, vec.Dims)
+	for i := 0; i < 100; i++ {
+		for d := range v {
+			v[d] = float32(r.NormFloat64() * 10)
+		}
+		coll.Append(descriptor.ID(1000+i), v)
+	}
+	var members [3][]int
+	for i := 0; i < 100; i++ {
+		members[i%3] = append(members[i%3], i)
+	}
+	cs := make([]*cluster.Cluster, 3)
+	for i := range cs {
+		cs[i] = cluster.NewFromMembers(coll, members[i])
+	}
+	return coll, cs
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	if err := Write(coll, cs, cp, ip, 4096); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if st.Dims() != vec.Dims {
+		t.Fatalf("dims = %d", st.Dims())
+	}
+	metas := st.Meta()
+	if len(metas) != 3 {
+		t.Fatalf("chunks = %d", len(metas))
+	}
+	var data Data
+	totalSeen := 0
+	for i, m := range metas {
+		if m.Count != cs[i].Count() {
+			t.Fatalf("chunk %d count %d != %d", i, m.Count, cs[i].Count())
+		}
+		if !vec.Equal(m.Centroid, cs[i].Centroid) {
+			t.Fatalf("chunk %d centroid mismatch", i)
+		}
+		if m.Radius != cs[i].Radius {
+			t.Fatalf("chunk %d radius %v != %v", i, m.Radius, cs[i].Radius)
+		}
+		if m.Bytes%4096 != 0 {
+			t.Fatalf("chunk %d not page padded: %d bytes", i, m.Bytes)
+		}
+		if err := st.ReadChunk(i, &data); err != nil {
+			t.Fatal(err)
+		}
+		if data.Len() != m.Count {
+			t.Fatalf("chunk %d decoded %d, want %d", i, data.Len(), m.Count)
+		}
+		for k, memberIdx := range cs[i].Members {
+			if data.IDs[k] != coll.IDAt(memberIdx) {
+				t.Fatalf("chunk %d rec %d id mismatch", i, k)
+			}
+			if !vec.Equal(data.Vec(k), coll.Vec(memberIdx)) {
+				t.Fatalf("chunk %d rec %d vector mismatch", i, k)
+			}
+		}
+		totalSeen += data.Len()
+	}
+	if totalSeen != 100 {
+		t.Fatalf("decoded %d descriptors, want 100", totalSeen)
+	}
+}
+
+func TestChunksStartOnPageBoundaries(t *testing.T) {
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	if err := Write(coll, cs, cp, ip, 512); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	prevEnd := int64(0)
+	for i, m := range st.Meta() {
+		if m.Offset%512 != 0 {
+			t.Fatalf("chunk %d offset %d not page aligned", i, m.Offset)
+		}
+		if m.Offset < prevEnd {
+			t.Fatalf("chunk %d overlaps previous", i)
+		}
+		prevEnd = m.Offset + int64(m.Bytes)
+	}
+}
+
+func TestMemStoreMatchesFileStore(t *testing.T) {
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	if err := Write(coll, cs, cp, ip, 4096); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore(coll, cs, 4096)
+
+	fm, mm := fs.Meta(), ms.Meta()
+	if len(fm) != len(mm) {
+		t.Fatalf("meta lengths differ: %d vs %d", len(fm), len(mm))
+	}
+	var fd, md Data
+	for i := range fm {
+		if fm[i].Bytes != mm[i].Bytes || fm[i].Count != mm[i].Count {
+			t.Fatalf("chunk %d accounting differs: %+v vs %+v", i, fm[i], mm[i])
+		}
+		if err := fs.ReadChunk(i, &fd); err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.ReadChunk(i, &md); err != nil {
+			t.Fatal(err)
+		}
+		for k := range fd.IDs {
+			if fd.IDs[k] != md.IDs[k] || !vec.Equal(fd.Vec(k), md.Vec(k)) {
+				t.Fatalf("chunk %d rec %d differs between stores", i, k)
+			}
+		}
+	}
+}
+
+func TestReadChunkOutOfRange(t *testing.T) {
+	coll, cs := makeClusters(t)
+	ms := NewMemStore(coll, cs, 4096)
+	var d Data
+	if err := ms.ReadChunk(-1, &d); err != ErrChunkOOB {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ms.ReadChunk(3, &d); err != ErrChunkOOB {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	coll, cs := makeClusters(t)
+	if err := Write(coll, cs, cp, ip, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the two paths: chunk file opened as index must fail.
+	if _, err := Open(ip, cp); err == nil {
+		t.Fatal("swapped files accepted")
+	}
+}
+
+func TestDataBufferReuse(t *testing.T) {
+	coll, cs := makeClusters(t)
+	ms := NewMemStore(coll, cs, 4096)
+	var d Data
+	if err := ms.ReadChunk(0, &d); err != nil {
+		t.Fatal(err)
+	}
+	n0 := d.Len()
+	if err := ms.ReadChunk(1, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() == 0 || d.Len()+n0 == 0 {
+		t.Fatal("no data after reuse")
+	}
+	if len(d.Vecs) != d.Len()*vec.Dims {
+		t.Fatalf("vec buffer %d for %d records", len(d.Vecs), d.Len())
+	}
+}
+
+func TestEntrySize(t *testing.T) {
+	if EntrySize(24) != 24*4+24 {
+		t.Fatalf("EntrySize(24) = %d", EntrySize(24))
+	}
+}

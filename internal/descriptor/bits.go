@@ -1,0 +1,10 @@
+package descriptor
+
+import "math"
+
+// floatBits and bitsFloat isolate the IEEE-754 reinterpretation used by the
+// fixed-width record codec.
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/lsh"
+	"repro/internal/medrank"
+	"repro/internal/metrics"
+	"repro/internal/psphere"
+	"repro/internal/search"
+	"repro/internal/vafile"
+)
+
+// ComparatorRow is one (method, parameter) point of the related-work
+// comparison: average recall within the top k and average simulated
+// seconds on the 2005 cost model.
+type ComparatorRow struct {
+	Method string
+	Param  string
+	Recall float64
+	SimSec float64
+}
+
+// ComparatorsResult is an extension experiment beyond the paper: the
+// chunk-search architecture against the related-work systems the paper
+// discusses (§6) — the VA-File (exact and approximate) and Medrank — all
+// costed on the same simulated 2005 hardware.
+type ComparatorsResult struct {
+	Workload string
+	K        int
+	Rows     []ComparatorRow
+}
+
+// Comparators runs the comparison on the SMALL granularity's retained
+// collection with the DQ workload.
+func Comparators(lab *Lab) (*ComparatorsResult, error) {
+	g := lab.Grans[0]
+	coll := g.Retained
+	k := lab.Cfg.K
+	model := lab.Model
+	queries := lab.DQ
+	gt := lab.Truth(0, "DQ", queries)
+	res := &ComparatorsResult{Workload: "DQ", K: k}
+
+	truthSets := make([]map[descriptor.ID]struct{}, len(queries))
+	for qi := range queries {
+		set := make(map[descriptor.ID]struct{}, k)
+		for _, id := range gt.IDs[qi] {
+			set[id] = struct{}{}
+		}
+		truthSets[qi] = set
+	}
+	recallOf := func(qi int, res []knn.Neighbor) float64 {
+		return float64(countFound(truthSets[qi], res)) / float64(k)
+	}
+
+	// Chunk search (SR-tree chunks) at several chunk budgets.
+	lab.Cfg.logf("comparators: chunk search...")
+	s := lab.searcher(g.SRStore)
+	for _, budget := range []int{1, 2, 5, 10, 20} {
+		var recall, secs float64
+		for qi, q := range queries {
+			r, err := s.Search(q, search.Options{K: k, Stop: search.ChunkBudget(budget), Overlap: true})
+			if err != nil {
+				return nil, err
+			}
+			recall += recallOf(qi, r.Neighbors)
+			secs += r.Elapsed.Seconds()
+		}
+		res.Rows = append(res.Rows, ComparatorRow{
+			Method: "chunk-search/SR",
+			Param:  fmt.Sprintf("chunks=%d", budget),
+			Recall: recall / float64(len(queries)),
+			SimSec: secs / float64(len(queries)),
+		})
+	}
+
+	// VA-File: exact and visit-budgeted. Simulated cost: one sequential
+	// scan of the approximation file plus a bound computation per
+	// descriptor (phase 1), then one random read and one distance per
+	// visited candidate (phase 2).
+	lab.Cfg.logf("comparators: VA-File...")
+	va, err := vafile.Build(coll, 5)
+	if err != nil {
+		return nil, err
+	}
+	vaCost := func(st vafile.Stats) float64 {
+		phase1 := model.ReadTime(va.ApproximationBytes()) + model.CPUTime(coll.Len())
+		phase2 := 0.0
+		for v := 0; v < st.Visited; v++ {
+			phase2 += model.ReadTime(descriptor.EncodedSize).Seconds()
+		}
+		return phase1.Seconds() + phase2 + model.CPUTime(st.Visited).Seconds()
+	}
+	for _, budget := range []int{0, 30, 100} {
+		var recall, secs float64
+		name := "exact"
+		if budget > 0 {
+			name = fmt.Sprintf("visits=%d", budget)
+		}
+		for qi, q := range queries {
+			nb, st, err := va.Search(q, k, vafile.Options{VisitBudget: budget})
+			if err != nil {
+				return nil, err
+			}
+			recall += recallOf(qi, nb)
+			secs += vaCost(st)
+		}
+		res.Rows = append(res.Rows, ComparatorRow{
+			Method: "va-file",
+			Param:  name,
+			Recall: recall / float64(len(queries)),
+			SimSec: secs / float64(len(queries)),
+		})
+	}
+
+	// Medrank. Simulated cost: one seek per projection list plus the
+	// accessed (projection, id) entries at 8 bytes each, sequentially per
+	// list; no full-dimensional distance computations (the property §6
+	// highlights).
+	lab.Cfg.logf("comparators: Medrank...")
+	md, err := medrank.Build(coll, 20, lab.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var recall, secs float64
+	for qi, q := range queries {
+		nb, st := md.QueryWithStats(q, k, medrank.Options{})
+		recall += recallOf(qi, nb)
+		cost := float64(md.Lines())*model.Seek.Seconds() + model.ReadTime(st.Entries*8).Seconds()
+		secs += cost
+	}
+	res.Rows = append(res.Rows, ComparatorRow{
+		Method: "medrank",
+		Param:  fmt.Sprintf("lines=%d", md.Lines()),
+		Recall: recall / float64(len(queries)),
+		SimSec: secs / float64(len(queries)),
+	})
+
+	// P-Sphere tree. Simulated cost: rank the sphere centers (CPU), then
+	// one contiguous read + scan of the chosen sphere. The replication
+	// factor is the space price the method pays (§6: "trading off (disk)
+	// space for time").
+	lab.Cfg.logf("comparators: P-Sphere...")
+	centers := len(g.BagChunks)
+	ps, err := psphere.Build(coll, psphere.Config{
+		Centers:      centers,
+		TargetProb:   0.9,
+		TrainQueries: 100,
+		Seed:         lab.Cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	recall, secs = 0, 0
+	for qi, q := range queries {
+		nb, st := ps.Query(q, k)
+		recall += recallOf(qi, nb)
+		cost := model.CPUTime(ps.Centers()) + model.ReadTime(st.Scanned*descriptor.EncodedSize) + model.CPUTime(st.Scanned)
+		secs += cost.Seconds()
+	}
+	res.Rows = append(res.Rows, ComparatorRow{
+		Method: "p-sphere",
+		Param:  fmt.Sprintf("m=%d,repl=%.1fx", ps.Centers(), ps.ReplicationFactor()),
+		Recall: recall / float64(len(queries)),
+		SimSec: secs / float64(len(queries)),
+	})
+
+	// LSH (p-stable). Simulated cost: the bucket reads (one seek per
+	// table plus the candidate postings) and one random full-vector read
+	// + distance per distinct candidate.
+	lab.Cfg.logf("comparators: LSH...")
+	lx, err := lsh.Build(coll, lsh.Config{Tables: 16, Hashes: 4, Seed: lab.Cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	recall, secs = 0, 0
+	for qi, q := range queries {
+		nb, st := lx.Query(q, k, 0)
+		recall += recallOf(qi, nb)
+		cost := time.Duration(lx.Tables())*model.Seek +
+			model.ReadTime(st.Candidates*4) +
+			time.Duration(st.Candidates)*model.Seek/8 + // candidates cluster on few pages
+			model.CPUTime(st.Candidates)
+		secs += cost.Seconds()
+	}
+	res.Rows = append(res.Rows, ComparatorRow{
+		Method: "lsh",
+		Param:  fmt.Sprintf("L=%d,k=4", lx.Tables()),
+		Recall: recall / float64(len(queries)),
+		SimSec: secs / float64(len(queries)),
+	})
+	return res, nil
+}
+
+// Render writes the comparison table.
+func (r *ComparatorsResult) Render(w io.Writer) {
+	headers := []string{"Method", "Parameter", fmt.Sprintf("Recall@%d", r.K), "Sim time (s)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Method, row.Param,
+			fmt.Sprintf("%.3f", row.Recall),
+			fmt.Sprintf("%.3f", row.SimSec),
+		})
+	}
+	metrics.RenderTable(w, "Extension: related-work comparators on the 2005 cost model ("+r.Workload+")", headers, rows)
+}

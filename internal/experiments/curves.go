@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/vec"
+)
+
+// CurveResult holds one of Figures 2-5: for every index (strategy ×
+// granularity), entry n-1 of the series is the average cost (chunks read
+// or elapsed seconds) of finding the n-th true neighbor.
+type CurveResult struct {
+	Title    string
+	Workload string
+	YLabel   string
+	K        int
+	Series   map[string][]float64
+	Order    []string
+}
+
+// Figure23 reproduces Figure 2 (workload "DQ") or Figure 3 (workload
+// "SQ"): chunks read to find nearest neighbors.
+func Figure23(lab *Lab, workloadName string) (*CurveResult, error) {
+	return curves(lab, workloadName, false)
+}
+
+// Figure45 reproduces Figure 4 (workload "DQ") or Figure 5 (workload
+// "SQ"): elapsed time to find nearest neighbors.
+func Figure45(lab *Lab, workloadName string) (*CurveResult, error) {
+	return curves(lab, workloadName, true)
+}
+
+func curves(lab *Lab, workloadName string, timeAxis bool) (*CurveResult, error) {
+	queries, err := lab.workloadByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	res := &CurveResult{
+		Workload: workloadName,
+		K:        lab.Cfg.K,
+		Series:   map[string][]float64{},
+	}
+	if timeAxis {
+		res.YLabel = "wall time (simulated seconds)"
+		if workloadName == "DQ" {
+			res.Title = "Figure 4: Elapsed time required to find nearest neighbors (DQ)"
+		} else {
+			res.Title = "Figure 5: Elapsed time required to find nearest neighbors (SQ)"
+		}
+	} else {
+		res.YLabel = "chunks read"
+		if workloadName == "DQ" {
+			res.Title = "Figure 2: Number of chunks required to find nearest neighbors (DQ)"
+		} else {
+			res.Title = "Figure 3: Number of chunks required to find nearest neighbors (SQ)"
+		}
+	}
+	for gi, g := range lab.Grans {
+		gt := lab.Truth(gi, workloadName, queries)
+		for _, st := range lab.Strategies(gi) {
+			name := st.Name + " / " + g.Name
+			traces, err := lab.runTraces(st.Store, queries, gt)
+			if err != nil {
+				return nil, err
+			}
+			if timeAxis {
+				res.Series[name] = metrics.TimeToFind(traces, lab.Cfg.K)
+			} else {
+				res.Series[name] = metrics.ChunksToFind(traces, lab.Cfg.K)
+			}
+			res.Order = append(res.Order, name)
+		}
+	}
+	return res, nil
+}
+
+func (l *Lab) workloadByName(name string) ([]vec.Vector, error) {
+	switch name {
+	case "DQ":
+		return l.DQ, nil
+	case "SQ":
+		return l.SQ, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown workload %q", name)
+}
+
+// Render writes the curve columns and an ASCII sketch.
+func (r *CurveResult) Render(w io.Writer) {
+	xs := make([]float64, r.K)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	metrics.RenderSeries(w, r.Title, "neighbors found", xs, r.Order, r.Series)
+	metrics.Plot(w, r.Title+" ["+r.YLabel+"]", xs, r.Order, r.Series, false)
+}
+
+// Table2Result reproduces Table 2 ("Time to completion"): the average
+// simulated seconds of exact searches, per granularity, strategy and
+// workload.
+type Table2Result struct {
+	// Seconds[granularity][strategy][workload]
+	Seconds map[string]map[string]map[string]float64
+	Chunks  map[string]map[string]map[string]float64
+	Grans   []string
+}
+
+// Table2 measures exact-search completion times.
+func Table2(lab *Lab) (*Table2Result, error) {
+	res := &Table2Result{
+		Seconds: map[string]map[string]map[string]float64{},
+		Chunks:  map[string]map[string]map[string]float64{},
+	}
+	for gi, g := range lab.Grans {
+		res.Grans = append(res.Grans, g.Name)
+		res.Seconds[g.Name] = map[string]map[string]float64{}
+		res.Chunks[g.Name] = map[string]map[string]float64{}
+		for _, st := range lab.Strategies(gi) {
+			res.Seconds[g.Name][st.Name] = map[string]float64{}
+			res.Chunks[g.Name][st.Name] = map[string]float64{}
+			for _, wl := range lab.Workloads() {
+				gt := lab.Truth(gi, wl.Name, wl.Queries)
+				traces, err := lab.runTraces(st.Store, wl.Queries, gt)
+				if err != nil {
+					return nil, err
+				}
+				res.Seconds[g.Name][st.Name][wl.Name] = metrics.MeanCompletion(traces)
+				res.Chunks[g.Name][st.Name][wl.Name] = metrics.MeanChunksRead(traces)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's layout (BAG DQ/SQ then SR DQ/SQ).
+func (r *Table2Result) Render(w io.Writer) {
+	headers := []string{"Chunk sizes", "BAG DQ", "BAG SQ", "SR DQ", "SR SQ"}
+	var rows [][]string
+	for _, g := range r.Grans {
+		rows = append(rows, []string{
+			g,
+			fmt.Sprintf("%.2f", r.Seconds[g]["BAG"]["DQ"]),
+			fmt.Sprintf("%.2f", r.Seconds[g]["BAG"]["SQ"]),
+			fmt.Sprintf("%.2f", r.Seconds[g]["SR"]["DQ"]),
+			fmt.Sprintf("%.2f", r.Seconds[g]["SR"]["SQ"]),
+		})
+	}
+	metrics.RenderTable(w, "Table 2: Time to completion (simulated seconds)", headers, rows)
+}

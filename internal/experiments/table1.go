@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Table1Row is one granularity row of the paper's Table 1 ("Properties of
+// the BAG and SR-tree chunk indexes").
+type Table1Row struct {
+	Name        string
+	Retained    int
+	Discarded   int
+	OutlierPct  float64
+	BagChunks   int
+	BagPerChunk float64
+	SRChunks    int
+	SRPerChunk  float64
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the chunk index properties of every granularity.
+func Table1(lab *Lab) *Table1Result {
+	res := &Table1Result{}
+	for _, g := range lab.Grans {
+		bs := cluster.Summarize(g.BagChunks)
+		ss := cluster.Summarize(g.SRChunks)
+		res.Rows = append(res.Rows, Table1Row{
+			Name:        g.Name,
+			Retained:    bs.Descriptors,
+			Discarded:   len(g.Snap.Outliers),
+			OutlierPct:  g.Snap.OutlierFraction() * 100,
+			BagChunks:   bs.Count,
+			BagPerChunk: bs.MeanSize,
+			SRChunks:    ss.Count,
+			SRPerChunk:  ss.MeanSize,
+		})
+	}
+	return res
+}
+
+// Render writes the table in the paper's layout.
+func (r *Table1Result) Render(w io.Writer) {
+	headers := []string{"Chunk sizes", "Retained", "Discarded", "Outliers%", "BAG chunks", "BAG desc/chunk", "SR chunks", "SR desc/chunk"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%d", row.Retained),
+			fmt.Sprintf("%d", row.Discarded),
+			fmt.Sprintf("%.1f", row.OutlierPct),
+			fmt.Sprintf("%d", row.BagChunks),
+			fmt.Sprintf("%.0f", row.BagPerChunk),
+			fmt.Sprintf("%d", row.SRChunks),
+			fmt.Sprintf("%.0f", row.SRPerChunk),
+		})
+	}
+	metrics.RenderTable(w, "Table 1: Properties of the BAG and SR-tree chunk indexes", headers, rows)
+}
+
+// Figure1Result reproduces Figure 1 ("Size of the largest chunks"): the
+// populations of the 30 largest chunks of each of the six indexes.
+type Figure1Result struct {
+	TopN   int
+	Series map[string][]float64 // e.g. "BAG / SMALL" -> sizes by rank
+	Order  []string
+}
+
+// Figure1 measures the largest-chunk size distributions.
+func Figure1(lab *Lab, topN int) *Figure1Result {
+	if topN <= 0 {
+		topN = 30
+	}
+	res := &Figure1Result{TopN: topN, Series: map[string][]float64{}}
+	add := func(name string, cs []*cluster.Cluster) {
+		sizes := cluster.LargestSizes(cs, topN)
+		ys := make([]float64, len(sizes))
+		for i, s := range sizes {
+			ys[i] = float64(s)
+		}
+		res.Series[name] = ys
+		res.Order = append(res.Order, name)
+	}
+	for _, g := range lab.Grans {
+		add("BAG / "+g.Name, g.BagChunks)
+	}
+	for _, g := range lab.Grans {
+		add("SR / "+g.Name, g.SRChunks)
+	}
+	return res
+}
+
+// Render writes the series columns (chunk rank vs size).
+func (r *Figure1Result) Render(w io.Writer) {
+	xs := make([]float64, r.TopN)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	metrics.RenderSeries(w, "Figure 1: Size of the largest chunks (descriptors)", "rank", xs, r.Order, r.Series)
+	metrics.Plot(w, "Figure 1 (log-size shape)", xs, r.Order, logSeries(r.Series), false)
+}
+
+func logSeries(in map[string][]float64) map[string][]float64 {
+	out := make(map[string][]float64, len(in))
+	for k, ys := range in {
+		ls := make([]float64, len(ys))
+		for i, y := range ys {
+			if y > 0 {
+				ls[i] = math.Log10(y)
+			}
+		}
+		out[k] = ls
+	}
+	return out
+}

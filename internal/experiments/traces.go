@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/chunkfile"
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/metrics"
+	"repro/internal/scan"
+	"repro/internal/search"
+	"repro/internal/vec"
+)
+
+// runTraces executes every query against the store to completion (the
+// paper always ran queries to conclusion and logged metrics after every
+// chunk, §5.4) and returns one QueryTrace per query, with Found counted
+// against the provided ground truth.
+func (l *Lab) runTraces(store chunkfile.Store, queries []vec.Vector, gt *scan.GroundTruth) ([]metrics.QueryTrace, error) {
+	s := l.searcher(store)
+	out := make([]metrics.QueryTrace, len(queries))
+	for qi, q := range queries {
+		truth := make(map[descriptor.ID]struct{}, len(gt.IDs[qi]))
+		for _, id := range gt.IDs[qi] {
+			truth[id] = struct{}{}
+		}
+		tr := metrics.QueryTrace{}
+		_, err := s.Search(q, search.Options{
+			K:       l.Cfg.K,
+			Stop:    search.ToCompletion{},
+			Overlap: l.Cfg.Overlap,
+			Trace: func(ev search.Event) {
+				tr.Elapsed = append(tr.Elapsed, ev.Elapsed)
+				tr.Found = append(tr.Found, countFound(truth, ev.Neighbors))
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: query %d: %w", qi, err)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: query %d: %w", qi, err)
+		}
+		out[qi] = tr
+	}
+	return out, nil
+}
+
+func countFound(truth map[descriptor.ID]struct{}, neighbors []knn.Neighbor) int {
+	n := 0
+	for _, nb := range neighbors {
+		if _, ok := truth[nb.ID]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package imagegen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig(10000, 1)
+	ds := MustGenerate(cfg)
+	n := ds.Collection.Len()
+	if n < 5000 || n > 15000 {
+		t.Fatalf("generated %d descriptors, want ~10000", n)
+	}
+	if ds.Collection.Dims() != vec.Dims {
+		t.Fatalf("dims = %d", ds.Collection.Dims())
+	}
+	if len(ds.ModeOf) != n {
+		t.Fatalf("ModeOf len %d != %d", len(ds.ModeOf), n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(DefaultConfig(3000, 99))
+	b := MustGenerate(DefaultConfig(3000, 99))
+	if a.Collection.Len() != b.Collection.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Collection.Len(), b.Collection.Len())
+	}
+	for i := 0; i < a.Collection.Len(); i++ {
+		if a.Collection.IDAt(i) != b.Collection.IDAt(i) {
+			t.Fatalf("ids differ at %d", i)
+		}
+		if !vec.Equal(a.Collection.Vec(i), b.Collection.Vec(i)) {
+			t.Fatalf("vectors differ at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := MustGenerate(DefaultConfig(2000, 1))
+	b := MustGenerate(DefaultConfig(2000, 2))
+	same := a.Collection.Len() == b.Collection.Len()
+	if same {
+		identical := true
+		for i := 0; i < a.Collection.Len() && identical; i++ {
+			identical = vec.Equal(a.Collection.Vec(i), b.Collection.Vec(i))
+		}
+		if identical {
+			t.Fatal("different seeds produced identical collections")
+		}
+	}
+}
+
+// The mode popularity must be heavily skewed: the paper's BAG indexes have
+// single chunks holding 10-20% of the whole collection (Fig. 1), which only
+// happens when natural modes are that large.
+func TestZipfSkew(t *testing.T) {
+	ds := MustGenerate(DefaultConfig(50000, 3))
+	hist := ds.ModeHistogram()
+	sort.Sort(sort.Reverse(sort.IntSlice(hist)))
+	total := 0
+	for _, h := range hist {
+		total += h
+	}
+	if total == 0 {
+		t.Fatal("no mode descriptors at all")
+	}
+	top := float64(hist[0]) / float64(total)
+	if top < 0.05 || top > 0.60 {
+		t.Fatalf("largest mode holds %.1f%% of descriptors, want 5-60%%", top*100)
+	}
+	// The tail must still be populated: many small modes.
+	nonEmpty := 0
+	for _, h := range hist {
+		if h > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 50 {
+		t.Fatalf("only %d modes populated, want a long tail", nonEmpty)
+	}
+}
+
+func TestNoiseFraction(t *testing.T) {
+	cfg := DefaultConfig(40000, 4)
+	ds := MustGenerate(cfg)
+	frac := float64(ds.NoiseCount()) / float64(ds.Collection.Len())
+	want := cfg.NoiseFraction + cfg.ScatterFraction
+	if math.Abs(frac-want) > 0.02 {
+		t.Fatalf("noise fraction %.3f, want ~%.3f", frac, want)
+	}
+}
+
+// Descriptors of the same mode must be much closer together than
+// descriptors of different modes — otherwise DQ queries would have no
+// meaningful true neighbors.
+func TestIntraModeTighterThanInterMode(t *testing.T) {
+	ds := MustGenerate(DefaultConfig(20000, 5))
+	byMode := map[int][]int{}
+	for i, m := range ds.ModeOf {
+		if m >= 0 {
+			byMode[m] = append(byMode[m], i)
+		}
+	}
+	var intra, inter []float64
+	var prevMode, prevIdx = -1, -1
+	for m, idxs := range byMode {
+		if len(idxs) >= 2 {
+			intra = append(intra, vec.Distance(ds.Collection.Vec(idxs[0]), ds.Collection.Vec(idxs[1])))
+		}
+		if prevMode >= 0 && prevMode != m {
+			inter = append(inter, vec.Distance(ds.Collection.Vec(idxs[0]), ds.Collection.Vec(prevIdx)))
+		}
+		prevMode, prevIdx = m, idxs[0]
+		if len(intra) > 30 && len(inter) > 30 {
+			break
+		}
+	}
+	if len(intra) < 5 || len(inter) < 5 {
+		t.Skip("not enough mode pairs sampled")
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	mi, me := mean(intra), mean(inter)
+	if mi*3 > me {
+		t.Fatalf("intra-mode mean %.1f not well below inter-mode mean %.1f", mi, me)
+	}
+}
+
+func TestIDEncodesImage(t *testing.T) {
+	ds := MustGenerate(DefaultConfig(5000, 6))
+	c := ds.Collection
+	maxImg := uint32(0)
+	for i := 0; i < c.Len(); i++ {
+		img := c.IDAt(i).ImageOf()
+		if img > maxImg {
+			maxImg = img
+		}
+	}
+	if maxImg == 0 {
+		t.Fatal("all descriptors claim image 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Images: 1, MeanDescPerImage: 0},
+		{Images: 1, MeanDescPerImage: 10, Dims: 0},
+		{Images: 1, MeanDescPerImage: 10, Dims: 4, Modes: 0},
+		{Images: 1, MeanDescPerImage: 10, Dims: 4, Modes: 5, ZipfS: 0.5, ZipfV: 1},
+		{Images: 1, MeanDescPerImage: 10, Dims: 4, Modes: 5, ZipfS: 1.5, ZipfV: 1, NoiseFraction: 1.5},
+		{Images: 1, MeanDescPerImage: 5000, Dims: 4, Modes: 5, ZipfS: 1.5, ZipfV: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func BenchmarkGenerate100k(b *testing.B) {
+	cfg := DefaultConfig(100000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

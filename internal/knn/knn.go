@@ -1,0 +1,88 @@
+// Package knn provides the shared k-nearest-neighbor result type and the
+// bounded max-heap used by every search implementation in this repository
+// (chunk search, sequential scan, VA-file, Medrank).
+package knn
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/descriptor"
+)
+
+// Neighbor is one k-NN result entry.
+type Neighbor struct {
+	ID   descriptor.ID
+	Dist float64
+}
+
+// Heap is a bounded max-heap keeping the k closest neighbors offered so
+// far. The zero value is unusable; construct with NewHeap.
+type Heap struct {
+	k     int
+	items []Neighbor
+}
+
+// NewHeap returns a heap retaining the k best entries.
+func NewHeap(k int) *Heap { return &Heap{k: k} }
+
+// Len returns the number of entries currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Kth returns the current k-th best distance, or +Inf while the heap holds
+// fewer than k entries. This is the pruning bound used by stop rules.
+func (h *Heap) Kth() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// Offer inserts the neighbor if it improves the current top-k.
+func (h *Heap) Offer(id descriptor.ID, dist float64) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Neighbor{id, dist})
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h.items[p].Dist >= h.items[i].Dist {
+				break
+			}
+			h.items[p], h.items[i] = h.items[i], h.items[p]
+			i = p
+		}
+		return
+	}
+	if dist >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = Neighbor{id, dist}
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.items) && h.items[l].Dist > h.items[big].Dist {
+			big = l
+		}
+		if r < len(h.items) && h.items[r].Dist > h.items[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// AppendAll appends the current entries (unordered) to dst and returns it.
+func (h *Heap) AppendAll(dst []Neighbor) []Neighbor {
+	return append(dst, h.items...)
+}
+
+// Sorted returns the entries ordered by increasing distance.
+func (h *Heap) Sorted() []Neighbor {
+	out := append([]Neighbor(nil), h.items...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}

@@ -1,0 +1,78 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/descriptor"
+)
+
+func TestHeapKeepsBestK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHeap(10)
+		dists := make([]float64, 100)
+		for i := range dists {
+			dists[i] = r.Float64() * 100
+			h.Offer(descriptor.ID(i), dists[i])
+		}
+		sort.Float64s(dists)
+		got := h.Sorted()
+		if len(got) != 10 {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-dists[i]) > 1e-12 {
+				return false
+			}
+		}
+		return h.Kth() == dists[9]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapUnderfull(t *testing.T) {
+	h := NewHeap(5)
+	if !math.IsInf(h.Kth(), 1) {
+		t.Fatal("empty heap Kth should be +Inf")
+	}
+	h.Offer(1, 3)
+	h.Offer(2, 1)
+	if !math.IsInf(h.Kth(), 1) {
+		t.Fatal("underfull heap Kth should be +Inf")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	got := h.Sorted()
+	if got[0].Dist != 1 || got[1].Dist != 3 {
+		t.Fatalf("Sorted = %v", got)
+	}
+}
+
+func TestHeapRejectsWorse(t *testing.T) {
+	h := NewHeap(2)
+	h.Offer(1, 1)
+	h.Offer(2, 2)
+	h.Offer(3, 5) // worse than both
+	got := h.Sorted()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Sorted = %v", got)
+	}
+}
+
+func TestAppendAll(t *testing.T) {
+	h := NewHeap(3)
+	h.Offer(1, 1)
+	h.Offer(2, 2)
+	buf := make([]Neighbor, 0, 4)
+	buf = h.AppendAll(buf)
+	if len(buf) != 2 {
+		t.Fatalf("AppendAll len = %d", len(buf))
+	}
+}

@@ -1,0 +1,184 @@
+// Package lsh implements locality-sensitive hashing for Euclidean space,
+// the approximate-NN family the paper cites as related work ([11] Gionis,
+// Indyk & Motwani, VLDB 1999; this implementation uses the p-stable
+// scheme of Datar et al. that superseded the Hamming embedding for L2).
+//
+// Each of L tables hashes a vector with k concatenated projections
+// h(v) = ⌊(a·v + b) / w⌋ with Gaussian a and uniform b; a query probes its
+// bucket in every table and refines the union of candidates with exact
+// distances. Quality and cost are tuned with L, k and the bucket width w.
+package lsh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+// Config controls table construction.
+type Config struct {
+	Tables int     // L, number of hash tables (0 = 8)
+	Hashes int     // k, projections concatenated per table (0 = 8)
+	Width  float64 // w, bucket width (0 = calibrated from a data sample)
+	Seed   int64
+}
+
+// Index is a built LSH structure.
+type Index struct {
+	coll   *descriptor.Collection
+	tables []map[uint64][]int32
+	// proj[t][h] is the random direction of hash h in table t; offs and
+	// width complete h(v) = floor((a·v + b)/w).
+	proj  [][]vec.Vector
+	offs  [][]float64
+	width float64
+}
+
+// CalibrateWidth estimates a good bucket width as twice the median
+// nearest-neighbor distance of a deterministic sample — wide enough that
+// a point and its true NN usually share a bucket coordinate.
+func CalibrateWidth(coll *descriptor.Collection, sample int, seed int64) float64 {
+	if sample <= 1 || coll.Len() < 2 {
+		return 1
+	}
+	if sample > coll.Len() {
+		sample = coll.Len()
+	}
+	r := rand.New(rand.NewSource(seed))
+	dists := make([]float64, 0, sample)
+	for i := 0; i < sample; i++ {
+		qi := r.Intn(coll.Len())
+		nn := scan.KNN(coll, coll.Vec(qi), 2)
+		if len(nn) > 1 {
+			dists = append(dists, nn[1].Dist)
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	// Median via partial selection.
+	for i := 0; i < len(dists)/2+1; i++ {
+		min := i
+		for j := i + 1; j < len(dists); j++ {
+			if dists[j] < dists[min] {
+				min = j
+			}
+		}
+		dists[i], dists[min] = dists[min], dists[i]
+	}
+	w := 2 * dists[len(dists)/2]
+	if w <= 0 {
+		return 1
+	}
+	return w
+}
+
+// Build constructs the tables.
+func Build(coll *descriptor.Collection, cfg Config) (*Index, error) {
+	if coll.Len() == 0 {
+		return nil, fmt.Errorf("lsh: empty collection")
+	}
+	L := cfg.Tables
+	if L == 0 {
+		L = 8
+	}
+	k := cfg.Hashes
+	if k == 0 {
+		k = 8
+	}
+	if L < 1 || k < 1 {
+		return nil, fmt.Errorf("lsh: need positive Tables and Hashes, got %d/%d", L, k)
+	}
+	w := cfg.Width
+	if w == 0 {
+		w = CalibrateWidth(coll, 100, cfg.Seed)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("lsh: non-positive width %v", w)
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	dims := coll.Dims()
+	ix := &Index{coll: coll, width: w}
+	for t := 0; t < L; t++ {
+		projs := make([]vec.Vector, k)
+		offs := make([]float64, k)
+		for h := 0; h < k; h++ {
+			a := make(vec.Vector, dims)
+			for d := range a {
+				a[d] = float32(r.NormFloat64())
+			}
+			projs[h] = a
+			offs[h] = r.Float64() * w
+		}
+		ix.proj = append(ix.proj, projs)
+		ix.offs = append(ix.offs, offs)
+		table := make(map[uint64][]int32)
+		for i := 0; i < coll.Len(); i++ {
+			key := ix.key(t, coll.Vec(i))
+			table[key] = append(table[key], int32(i))
+		}
+		ix.tables = append(ix.tables, table)
+	}
+	return ix, nil
+}
+
+// key computes the bucket of v in table t.
+func (ix *Index) key(t int, v vec.Vector) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for hh, a := range ix.proj[t] {
+		var dot float64
+		for d := range v {
+			dot += float64(v[d]) * float64(a[d])
+		}
+		cell := int64(math.Floor((dot + ix.offs[t][hh]) / ix.width))
+		binary.LittleEndian.PutUint64(buf[:], uint64(cell))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Tables returns L.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+// Width returns the bucket width in use.
+func (ix *Index) Width() float64 { return ix.width }
+
+// Stats reports the work of one query.
+type Stats struct {
+	Candidates int // distinct descriptors probed across tables
+}
+
+// Query probes the query's bucket in every table and refines the
+// candidate union exactly. maxCandidates bounds the refinement (0 =
+// unlimited).
+func (ix *Index) Query(q vec.Vector, k, maxCandidates int) ([]knn.Neighbor, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	seen := map[int32]bool{}
+	heap := knn.NewHeap(k)
+	for t := range ix.tables {
+		for _, pos := range ix.tables[t][ix.key(t, q)] {
+			if seen[pos] {
+				continue
+			}
+			seen[pos] = true
+			st.Candidates++
+			heap.Offer(ix.coll.IDAt(int(pos)), vec.Distance(q, ix.coll.Vec(int(pos))))
+			if maxCandidates > 0 && st.Candidates >= maxCandidates {
+				return heap.Sorted(), st
+			}
+		}
+	}
+	return heap.Sorted(), st
+}

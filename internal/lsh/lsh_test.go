@@ -1,0 +1,159 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(descriptor.NewCollection(4, 0), Config{}); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(500, 1))
+	if _, err := Build(ds.Collection, Config{Tables: -1}); err == nil {
+		t.Fatal("negative tables accepted")
+	}
+	if _, err := Build(ds.Collection, Config{Width: -3}); err == nil {
+		t.Fatal("negative width accepted")
+	}
+}
+
+func TestCalibrateWidthPositive(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(2000, 2))
+	w := CalibrateWidth(ds.Collection, 50, 1)
+	if w <= 0 {
+		t.Fatalf("width = %v", w)
+	}
+	// Degenerate inputs fall back to 1.
+	tiny := descriptor.NewCollection(2, 1)
+	tiny.Append(0, vec.Vector{1, 2})
+	if got := CalibrateWidth(tiny, 10, 1); got != 1 {
+		t.Fatalf("degenerate width = %v", got)
+	}
+}
+
+// A dataset point must find itself: it always shares all its buckets.
+func TestSelfFound(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 3))
+	ix, err := Build(ds.Collection, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qi := range []int{0, 100, 2000} {
+		got, st := ix.Query(ds.Collection.Vec(qi), 1, 0)
+		if len(got) == 0 || got[0].Dist != 0 {
+			t.Fatalf("query %d: self not found (candidates %d)", qi, st.Candidates)
+		}
+	}
+}
+
+// LSH recall@10 on clustered data must decisively beat random candidates
+// while probing only a small fraction of the collection.
+func TestRecallAndSelectivity(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(6000, 5))
+	coll := ds.Collection
+	ix, err := Build(coll, Config{Tables: 16, Hashes: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	const k = 10
+	var recallSum, candSum float64
+	const queries = 25
+	for i := 0; i < queries; i++ {
+		q := coll.Vec(r.Intn(coll.Len()))
+		got, st := ix.Query(q, k, 0)
+		truth := scan.KNN(coll, q, k)
+		set := map[descriptor.ID]bool{}
+		for _, n := range truth {
+			set[n.ID] = true
+		}
+		hit := 0
+		for _, n := range got {
+			if set[n.ID] {
+				hit++
+			}
+		}
+		recallSum += float64(hit) / k
+		candSum += float64(st.Candidates)
+	}
+	recall := recallSum / queries
+	frac := candSum / queries / float64(coll.Len())
+	if recall < 0.4 {
+		t.Fatalf("recall@%d = %.2f, want >= 0.4", k, recall)
+	}
+	if frac > 0.6 {
+		t.Fatalf("probed %.0f%% of the collection: not selective", frac*100)
+	}
+}
+
+func TestMaxCandidatesBounds(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 8))
+	ix, err := Build(ds.Collection, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := ix.Query(ds.Collection.Vec(5), 10, 7)
+	if st.Candidates > 7 {
+		t.Fatalf("candidates %d > budget 7", st.Candidates)
+	}
+}
+
+func TestQueryEdges(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(800, 10))
+	ix, err := Build(ds.Collection, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ix.Query(ds.Collection.Vec(0), 0, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if ix.Tables() != 8 {
+		t.Fatalf("Tables = %d", ix.Tables())
+	}
+	if ix.Width() <= 0 {
+		t.Fatalf("Width = %v", ix.Width())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(1200, 11))
+	a, err := Build(ds.Collection, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds.Collection, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Collection.Vec(77)
+	ra, _ := a.Query(q, 5, 0)
+	rb, _ := b.Query(q, 5, 0)
+	if len(ra) != len(rb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatalf("result %d differs", i)
+		}
+	}
+}
+
+func BenchmarkLSHQuery(b *testing.B) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(50000, 1))
+	ix, err := Build(ds.Collection, Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Collection.Vec(42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query(q, 30, 0)
+	}
+}

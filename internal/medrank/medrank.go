@@ -1,0 +1,212 @@
+// Package medrank implements Medrank (Fagin, Kumar & Sivakumar, SIGMOD
+// 2003), the rank-aggregation approximate NN search the paper's related
+// work highlights (§6): all descriptors are projected onto a set of
+// random lines; at query time the database elements are ranked by the
+// proximity of their projections to the query's projection, and the
+// element with the best median rank is, with high probability, the true
+// nearest neighbor.
+//
+// The attraction the paper notes is that the algorithm is I/O bound (and
+// I/O optimal): the query walks m sorted projection lists outward from
+// the query's position and never computes a full-dimensional distance.
+package medrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/vec"
+)
+
+// Index holds the sorted projections of a collection onto m random lines.
+type Index struct {
+	coll *descriptor.Collection
+	dirs []vec.Vector
+	// order[l] lists collection positions sorted by projection onto line
+	// l; proj[l] holds the matching projection values (same order).
+	order [][]int32
+	proj  [][]float32
+}
+
+// Build projects the collection onto m random unit vectors (deterministic
+// for a seed) and sorts each projection list.
+func Build(coll *descriptor.Collection, m int, seed int64) (*Index, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("medrank: need at least one line, got %d", m)
+	}
+	if coll.Len() == 0 {
+		return nil, fmt.Errorf("medrank: empty collection")
+	}
+	r := rand.New(rand.NewSource(seed))
+	dims := coll.Dims()
+	ix := &Index{coll: coll}
+	for l := 0; l < m; l++ {
+		dir := make(vec.Vector, dims)
+		var norm float64
+		for d := range dir {
+			x := r.NormFloat64()
+			dir[d] = float32(x)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for d := range dir {
+			dir[d] = float32(float64(dir[d]) / norm)
+		}
+		ix.dirs = append(ix.dirs, dir)
+
+		n := coll.Len()
+		ord := make([]int32, n)
+		prj := make([]float32, n)
+		vals := make([]float32, n)
+		for i := 0; i < n; i++ {
+			ord[i] = int32(i)
+			vals[i] = project(coll.Vec(i), dir)
+		}
+		sort.Slice(ord, func(a, b int) bool { return vals[ord[a]] < vals[ord[b]] })
+		for i, o := range ord {
+			prj[i] = vals[o]
+		}
+		ix.order = append(ix.order, ord)
+		ix.proj = append(ix.proj, prj)
+	}
+	return ix, nil
+}
+
+// Lines returns the number of projection lines.
+func (ix *Index) Lines() int { return len(ix.dirs) }
+
+func project(v, dir vec.Vector) float32 {
+	var s float64
+	for d := range v {
+		s += float64(v[d]) * float64(dir[d])
+	}
+	return float32(s)
+}
+
+// cursor walks one sorted projection list outward from the query's
+// position, yielding collection positions by increasing projection
+// distance.
+type cursor struct {
+	order []int32
+	proj  []float32
+	q     float32
+	lo    int // next candidate below (inclusive)
+	hi    int // next candidate above (inclusive)
+}
+
+func newCursor(order []int32, proj []float32, q float32) *cursor {
+	hi := sort.Search(len(proj), func(i int) bool { return proj[i] >= q })
+	return &cursor{order: order, proj: proj, q: q, lo: hi - 1, hi: hi}
+}
+
+// next returns the next nearest position on this line, or -1 when the
+// line is exhausted.
+func (c *cursor) next() int32 {
+	switch {
+	case c.lo < 0 && c.hi >= len(c.order):
+		return -1
+	case c.lo < 0:
+		p := c.order[c.hi]
+		c.hi++
+		return p
+	case c.hi >= len(c.order):
+		p := c.order[c.lo]
+		c.lo--
+		return p
+	default:
+		dLo := c.q - c.proj[c.lo]
+		dHi := c.proj[c.hi] - c.q
+		if dLo <= dHi {
+			p := c.order[c.lo]
+			c.lo--
+			return p
+		}
+		p := c.order[c.hi]
+		c.hi++
+		return p
+	}
+}
+
+// Options tunes a Medrank query.
+type Options struct {
+	// MinFrac is the fraction of lines an element must have appeared on
+	// to be emitted (the median rank criterion). 0 means 0.5.
+	MinFrac float64
+	// MaxSteps bounds the cursor steps per line (0 = collection size).
+	MaxSteps int
+}
+
+// Stats reports the list-access work one query performed, the quantity
+// Medrank's I/O-optimality argument is about.
+type Stats struct {
+	// Steps is the number of rounds of cursor advances.
+	Steps int
+	// Entries is the total number of sorted-list entries accessed.
+	Entries int
+}
+
+// Query returns k neighbors by median-rank aggregation, ordered by rank.
+// The Dist fields are filled with the true Euclidean distances for
+// convenience (Medrank itself never computes them).
+func (ix *Index) Query(q vec.Vector, k int, opts Options) []knn.Neighbor {
+	out, _ := ix.QueryWithStats(q, k, opts)
+	return out
+}
+
+// QueryWithStats is Query plus access accounting.
+func (ix *Index) QueryWithStats(q vec.Vector, k int, opts Options) ([]knn.Neighbor, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	minFrac := opts.MinFrac
+	if minFrac <= 0 {
+		minFrac = 0.5
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = ix.coll.Len()
+	}
+	need := int(math.Ceil(minFrac * float64(len(ix.dirs))))
+	if need < 1 {
+		need = 1
+	}
+
+	cursors := make([]*cursor, len(ix.dirs))
+	for l, dir := range ix.dirs {
+		cursors[l] = newCursor(ix.order[l], ix.proj[l], project(q, dir))
+	}
+
+	seen := map[int32]int{}
+	emitted := map[int32]bool{}
+	var out []knn.Neighbor
+	for step := 0; step < maxSteps && len(out) < k; step++ {
+		st.Steps++
+		for _, c := range cursors {
+			p := c.next()
+			if p < 0 {
+				continue
+			}
+			st.Entries++
+			if emitted[p] {
+				continue
+			}
+			seen[p]++
+			if seen[p] >= need {
+				emitted[p] = true
+				out = append(out, knn.Neighbor{
+					ID:   ix.coll.IDAt(int(p)),
+					Dist: vec.Distance(q, ix.coll.Vec(int(p))),
+				})
+				if len(out) == k {
+					break
+				}
+			}
+		}
+	}
+	return out, st
+}

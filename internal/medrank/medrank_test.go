@@ -1,0 +1,174 @@
+package medrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/knn"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func TestBuildValidation(t *testing.T) {
+	coll := descriptor.NewCollection(4, 0)
+	if _, err := Build(coll, 5, 1); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	coll.Append(1, vec.Vector{1, 2, 3, 4})
+	if _, err := Build(coll, 0, 1); err == nil {
+		t.Fatal("zero lines accepted")
+	}
+}
+
+func TestQueryEdges(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(2000, 1))
+	ix, err := Build(ds.Collection, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Query(ds.Collection.Vec(0), 0, Options{}); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	got := ix.Query(ds.Collection.Vec(0), 5, Options{})
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if ix.Lines() != 10 {
+		t.Fatalf("Lines = %d", ix.Lines())
+	}
+}
+
+// On a query that exists in the collection, the element itself has rank 0
+// on every line and must be the first result.
+func TestSelfQueryRanksFirst(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 2))
+	coll := ds.Collection
+	ix, err := Build(coll, 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qi := range []int{0, 57, 1500} {
+		got := ix.Query(coll.Vec(qi), 3, Options{})
+		if len(got) == 0 {
+			t.Fatalf("query %d: empty result", qi)
+		}
+		if got[0].Dist != 0 {
+			t.Fatalf("query %d: first result at distance %v, want the query point itself", qi, got[0].Dist)
+		}
+	}
+}
+
+// Medrank is approximate but must beat random guessing decisively on
+// recall@10: its results should be heavily concentrated among the true
+// nearest neighbors.
+func TestRecallBeatsRandom(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(4000, 4))
+	coll := ds.Collection
+	ix, err := Build(coll, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	const k = 10
+	totalRecall := 0.0
+	const queries = 20
+	for qi := 0; qi < queries; qi++ {
+		q := coll.Vec(r.Intn(coll.Len()))
+		got := ix.Query(q, k, Options{})
+		truth := scan.KNN(coll, q, k)
+		truthSet := map[descriptor.ID]bool{}
+		for _, n := range truth {
+			truthSet[n.ID] = true
+		}
+		hit := 0
+		for _, n := range got {
+			if truthSet[n.ID] {
+				hit++
+			}
+		}
+		totalRecall += float64(hit) / float64(k)
+	}
+	recall := totalRecall / queries
+	// Random guessing would land ~k/N ≈ 0.25%; require two orders more.
+	if recall < 0.3 {
+		t.Fatalf("recall@%d = %.2f, want >= 0.3", k, recall)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(1000, 7))
+	a, err := Build(ds.Collection, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds.Collection, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Collection.Vec(3)
+	ra := a.Query(q, 7, Options{})
+	rb := b.Query(q, 7, Options{})
+	if len(ra) != len(rb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatalf("result %d differs: %v vs %v", i, ra[i].ID, rb[i].ID)
+		}
+	}
+}
+
+func TestMaxStepsBounds(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(2000, 8))
+	ix, err := Build(ds.Collection, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny step budget the result may be short but never panics.
+	got := ix.Query(ds.Collection.Vec(1), 30, Options{MaxSteps: 2})
+	if len(got) > 30 {
+		t.Fatalf("over-long result: %d", len(got))
+	}
+}
+
+func TestCursorExhaustion(t *testing.T) {
+	// A 3-point collection: walking more steps than points must terminate
+	// and yield everything exactly once.
+	coll := descriptor.NewCollection(2, 3)
+	coll.Append(0, vec.Vector{0, 0})
+	coll.Append(1, vec.Vector{1, 0})
+	coll.Append(2, vec.Vector{5, 0})
+	ix, err := Build(coll, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Query(vec.Vector{0.4, 0}, 3, Options{})
+	if len(got) != 3 {
+		t.Fatalf("got %d of 3", len(got))
+	}
+	seen := map[descriptor.ID]bool{}
+	for _, n := range got {
+		if seen[n.ID] {
+			t.Fatalf("duplicate %v", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+var benchSink []knn.Neighbor
+
+func BenchmarkMedrankQuery(b *testing.B) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(50000, 1))
+	ix, err := Build(ds.Collection, 20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Collection.Vec(11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = ix.Query(q, 30, Options{})
+	}
+}

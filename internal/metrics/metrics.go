@@ -1,0 +1,131 @@
+// Package metrics computes and renders the paper's evaluation metrics:
+// precision within the top k (§5.4), and the inverted quality curves of
+// Figures 2-7 — how many chunks (or how much time) a search needed before
+// the n-th true neighbor entered the running result.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// QueryTrace records the intermediate state of one query: after the i-th
+// processed chunk (0-based entry i), the simulated elapsed time and the
+// number of true top-k neighbors present in the running result. Found must
+// be monotone non-decreasing (the search package guarantees it; the
+// experiments assert it).
+type QueryTrace struct {
+	Elapsed []time.Duration
+	Found   []int
+}
+
+// Validate checks the structural invariants of the trace.
+func (t *QueryTrace) Validate() error {
+	if len(t.Elapsed) != len(t.Found) {
+		return fmt.Errorf("metrics: trace length mismatch %d vs %d", len(t.Elapsed), len(t.Found))
+	}
+	for i := 1; i < len(t.Found); i++ {
+		if t.Found[i] < t.Found[i-1] {
+			return fmt.Errorf("metrics: found count dropped at chunk %d", i)
+		}
+		if t.Elapsed[i] < t.Elapsed[i-1] {
+			return fmt.Errorf("metrics: elapsed time dropped at chunk %d", i)
+		}
+	}
+	return nil
+}
+
+// Precision returns found/k, the paper's quality metric ("when the number
+// of returned images is fixed, recall and precision are the same metric").
+func Precision(found, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(found) / float64(k)
+}
+
+// ChunksToFind inverts the traces: entry n-1 is the average number of
+// chunks that had to be processed before n true neighbors were in the
+// result (Figures 2-3). Queries that never reached n are excluded from
+// that entry's average; an entry with no qualifying query is NaN.
+func ChunksToFind(traces []QueryTrace, k int) []float64 {
+	out := make([]float64, k)
+	for n := 1; n <= k; n++ {
+		sum, cnt := 0.0, 0
+		for _, tr := range traces {
+			if c, ok := chunksFor(tr, n); ok {
+				sum += float64(c)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[n-1] = math.NaN()
+		} else {
+			out[n-1] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// TimeToFind inverts the traces on the time axis: entry n-1 is the average
+// simulated elapsed seconds until n true neighbors were in the result
+// (Figures 4-7).
+func TimeToFind(traces []QueryTrace, k int) []float64 {
+	out := make([]float64, k)
+	for n := 1; n <= k; n++ {
+		sum, cnt := 0.0, 0
+		for _, tr := range traces {
+			if c, ok := chunksFor(tr, n); ok {
+				sum += tr.Elapsed[c-1].Seconds()
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[n-1] = math.NaN()
+		} else {
+			out[n-1] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// chunksFor returns the 1-based chunk ordinal at which the trace first
+// held n true neighbors.
+func chunksFor(tr QueryTrace, n int) (int, bool) {
+	for i, f := range tr.Found {
+		if f >= n {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// MeanCompletion returns the average elapsed seconds of the final trace
+// entries — the paper's Table 2 ("time to completion") when traces come
+// from run-to-completion searches.
+func MeanCompletion(traces []QueryTrace) float64 {
+	if len(traces) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, tr := range traces {
+		if len(tr.Elapsed) == 0 {
+			continue
+		}
+		sum += tr.Elapsed[len(tr.Elapsed)-1].Seconds()
+	}
+	return sum / float64(len(traces))
+}
+
+// MeanChunksRead returns the average chunk count of the traces.
+func MeanChunksRead(traces []QueryTrace) float64 {
+	if len(traces) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, tr := range traces {
+		sum += float64(len(tr.Elapsed))
+	}
+	return sum / float64(len(traces))
+}

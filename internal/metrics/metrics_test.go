@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func trace(found []int, ms ...int) QueryTrace {
+	el := make([]time.Duration, len(found))
+	for i := range el {
+		if i < len(ms) {
+			el[i] = time.Duration(ms[i]) * time.Millisecond
+		} else {
+			el[i] = time.Duration(i+1) * 10 * time.Millisecond
+		}
+	}
+	return QueryTrace{Elapsed: el, Found: found}
+}
+
+func TestValidate(t *testing.T) {
+	good := trace([]int{0, 1, 3, 3})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := trace([]int{2, 1})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-monotone found accepted")
+	}
+	mismatch := QueryTrace{Elapsed: make([]time.Duration, 2), Found: []int{1}}
+	if err := mismatch.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	backwards := QueryTrace{
+		Elapsed: []time.Duration{20 * time.Millisecond, 10 * time.Millisecond},
+		Found:   []int{1, 2},
+	}
+	if err := backwards.Validate(); err == nil {
+		t.Fatal("time reversal accepted")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	if Precision(15, 30) != 0.5 {
+		t.Fatalf("Precision = %v", Precision(15, 30))
+	}
+	if Precision(3, 0) != 0 {
+		t.Fatal("k=0 should yield 0")
+	}
+}
+
+func TestChunksToFind(t *testing.T) {
+	// Query A finds neighbors 1,2 at chunk 1, neighbor 3 at chunk 3.
+	// Query B finds neighbor 1 at chunk 2, neighbors 2,3 at chunk 4.
+	traces := []QueryTrace{
+		trace([]int{2, 2, 3, 3}),
+		trace([]int{0, 1, 1, 3}),
+	}
+	got := ChunksToFind(traces, 3)
+	want := []float64{(1 + 2) / 2.0, (1 + 4) / 2.0, (3 + 4) / 2.0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ChunksToFind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChunksToFindUnreached(t *testing.T) {
+	traces := []QueryTrace{trace([]int{1, 1})}
+	got := ChunksToFind(traces, 3)
+	if got[0] != 1 {
+		t.Fatalf("got[0] = %v", got[0])
+	}
+	if !math.IsNaN(got[1]) || !math.IsNaN(got[2]) {
+		t.Fatalf("unreached entries should be NaN: %v", got)
+	}
+}
+
+func TestTimeToFind(t *testing.T) {
+	traces := []QueryTrace{
+		trace([]int{1, 2}, 10, 30),
+		trace([]int{0, 2}, 15, 45),
+	}
+	got := TimeToFind(traces, 2)
+	want1 := (0.010 + 0.045) / 2
+	want2 := (0.030 + 0.045) / 2
+	if math.Abs(got[0]-want1) > 1e-9 || math.Abs(got[1]-want2) > 1e-9 {
+		t.Fatalf("TimeToFind = %v, want [%v %v]", got, want1, want2)
+	}
+}
+
+func TestMeanCompletionAndChunks(t *testing.T) {
+	traces := []QueryTrace{
+		trace([]int{1, 2}, 10, 30),
+		trace([]int{2}, 50),
+	}
+	if got := MeanCompletion(traces); math.Abs(got-0.04) > 1e-9 {
+		t.Fatalf("MeanCompletion = %v", got)
+	}
+	if got := MeanChunksRead(traces); got != 1.5 {
+		t.Fatalf("MeanChunksRead = %v", got)
+	}
+	if !math.IsNaN(MeanCompletion(nil)) {
+		t.Fatal("empty MeanCompletion should be NaN")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, "T", []string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-header") {
+		t.Fatalf("table output missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSeries(&buf, "S", "x", []float64{1, 2}, []string{"a"}, map[string][]float64{"a": {0.5, math.NaN()}})
+	out := buf.String()
+	if !strings.Contains(out, "# x\ta") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "2\t-") {
+		t.Fatalf("NaN not rendered as dash:\n%s", out)
+	}
+}
+
+func TestPlotDoesNotCrash(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{1, 10, 100}
+	Plot(&buf, "P", xs, []string{"a", "b"}, map[string][]float64{
+		"a": {1, 2, 3},
+		"b": {3, 2, math.NaN()},
+	}, true)
+	if buf.Len() == 0 {
+		t.Fatal("empty plot")
+	}
+	// Degenerate inputs must not panic.
+	Plot(&buf, "empty", nil, nil, nil, false)
+	Plot(&buf, "flat", []float64{1, 2}, []string{"a"}, map[string][]float64{"a": {5, 5}}, false)
+	Plot(&buf, "allnan", []float64{1, 2}, []string{"a"}, map[string][]float64{"a": {math.NaN(), math.NaN()}}, false)
+}

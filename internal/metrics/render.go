@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderTable writes an aligned ASCII table.
+func RenderTable(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderSeries writes gnuplot-style columns: the x value followed by one
+// column per named series, in the given order. NaN renders as "-".
+func RenderSeries(w io.Writer, title, xLabel string, xs []float64, order []string, series map[string][]float64) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	fmt.Fprintf(w, "# %s", xLabel)
+	for _, name := range order {
+		fmt.Fprintf(w, "\t%s", name)
+	}
+	fmt.Fprintln(w)
+	for i, x := range xs {
+		fmt.Fprintf(w, "%g", x)
+		for _, name := range order {
+			ys := series[name]
+			if i >= len(ys) || math.IsNaN(ys[i]) {
+				fmt.Fprint(w, "\t-")
+			} else {
+				fmt.Fprintf(w, "\t%.4g", ys[i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Plot draws a coarse ASCII chart of the series (one rune per series) so
+// figure shapes can be eyeballed straight from the experiment binary.
+// logX plots x on a log10 scale.
+func Plot(w io.Writer, title string, xs []float64, order []string, series map[string][]float64, logX bool) {
+	const width, height = 64, 18
+	if len(xs) == 0 || len(order) == 0 {
+		return
+	}
+	tx := func(x float64) float64 {
+		if logX {
+			return math.Log10(math.Max(x, 1e-12))
+		}
+		return x
+	}
+	minX, maxX := tx(xs[0]), tx(xs[0])
+	for _, x := range xs {
+		minX = math.Min(minX, tx(x))
+		maxX = math.Max(maxX, tx(x))
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, name := range order {
+		for _, y := range series[name] {
+			if math.IsNaN(y) {
+				continue
+			}
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minY, 1) || maxX == minX {
+		return
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&")
+	for si, name := range order {
+		mark := marks[si%len(marks)]
+		for i, y := range series[name] {
+			if i >= len(xs) || math.IsNaN(y) {
+				continue
+			}
+			col := int((tx(xs[i]) - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%10.3g +%s\n", maxY, strings.Repeat("-", width))
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(w, "           |%s\n", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10.3g +%s\n", minY, strings.Repeat("-", width))
+	xlo, xhi := xs[0], xs[len(xs)-1]
+	fmt.Fprintf(w, "            x: %g .. %g%s\n", xlo, xhi, map[bool]string{true: " (log)", false: ""}[logX])
+	for si, name := range order {
+		fmt.Fprintf(w, "            %c = %s\n", marks[si%len(marks)], name)
+	}
+}

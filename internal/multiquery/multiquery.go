@@ -1,0 +1,138 @@
+// Package multiquery implements the multi-descriptor search algorithm the
+// paper's conclusion announces as the next step for the Eff² system (§7):
+// a query *image* is a bag of local descriptors; each descriptor runs an
+// approximate k-NN search against the chunk index, and the per-descriptor
+// results vote for their source images. The images with the most
+// (weighted) votes are the retrieval result.
+//
+// This is the standard voting scheme for local-descriptor recognition
+// (Schmid & Mohr 1997), layered on the chunk-search substrate so the
+// quality/time stop rules apply per descriptor.
+package multiquery
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/search"
+	"repro/internal/vec"
+)
+
+// Options controls one multi-descriptor query.
+type Options struct {
+	// K is the per-descriptor neighbor count (0 = 10; image voting wants
+	// fewer, closer matches than the paper's 30).
+	K int
+	// Stop is the per-descriptor stop rule (nil = 3-chunk budget, a
+	// deliberately aggressive approximation).
+	Stop search.StopRule
+	// RankWeighted scores a vote as 1/(1+rank) instead of 1, favoring
+	// descriptors whose match was the closest.
+	RankWeighted bool
+	// MinVotes drops images below this score from the result (0 keeps
+	// everything).
+	MinVotes float64
+	// Overlap selects the overlapped pipeline in the simulated timing.
+	Overlap bool
+}
+
+// ImageScore is one ranked image in the result.
+type ImageScore struct {
+	Image uint32
+	Score float64
+	// Matches is the number of query descriptors that voted for the image.
+	Matches int
+}
+
+// Result is the outcome of a multi-descriptor query.
+type Result struct {
+	Images []ImageScore // descending score
+	// Descriptors is the number of query descriptors searched.
+	Descriptors int
+	// Simulated is the total simulated time across descriptor searches
+	// (the searches are independent; a deployment would parallelize).
+	Simulated time.Duration
+	// ChunksRead is the total chunks processed across searches.
+	ChunksRead int
+}
+
+// Searcher runs multi-descriptor queries against one chunk store.
+type Searcher struct {
+	inner *search.Searcher
+}
+
+// New wraps a chunk store.
+func New(store chunkfile.Store) *Searcher {
+	return &Searcher{inner: search.New(store, nil)}
+}
+
+// Query searches every descriptor of the query image and aggregates
+// votes by source image.
+func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error) {
+	if len(descriptors) == 0 {
+		return nil, fmt.Errorf("multiquery: no query descriptors")
+	}
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ChunkBudget(3)
+	}
+
+	type tally struct {
+		score   float64
+		matches int
+	}
+	votes := map[uint32]*tally{}
+	res := &Result{Descriptors: len(descriptors)}
+	for qi, q := range descriptors {
+		sr, err := s.inner.Search(q, search.Options{
+			K:       opts.K,
+			Stop:    opts.Stop,
+			Overlap: opts.Overlap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multiquery: descriptor %d: %w", qi, err)
+		}
+		res.Simulated += sr.Elapsed
+		res.ChunksRead += sr.ChunksRead
+		// One vote per (descriptor, image): a descriptor matching many
+		// descriptors of one image counts once, preventing a single
+		// repetitive texture from dominating.
+		seen := map[uint32]bool{}
+		for rank, nb := range sr.Neighbors {
+			img := nb.ID.ImageOf()
+			if seen[img] {
+				continue
+			}
+			seen[img] = true
+			t := votes[img]
+			if t == nil {
+				t = &tally{}
+				votes[img] = t
+			}
+			if opts.RankWeighted {
+				t.score += 1 / float64(1+rank)
+			} else {
+				t.score++
+			}
+			t.matches++
+		}
+	}
+
+	for img, t := range votes {
+		if t.score < opts.MinVotes {
+			continue
+		}
+		res.Images = append(res.Images, ImageScore{Image: img, Score: t.score, Matches: t.matches})
+	}
+	sort.Slice(res.Images, func(a, b int) bool {
+		if res.Images[a].Score != res.Images[b].Score {
+			return res.Images[a].Score > res.Images[b].Score
+		}
+		return res.Images[a].Image < res.Images[b].Image
+	})
+	return res, nil
+}

@@ -1,0 +1,191 @@
+// Package psphere implements P-Sphere trees (Goldstein & Ramakrishnan,
+// VLDB 2000), the related-work system the paper describes as
+// "investigating trading off (disk) space for time" (§6): descriptors
+// belonging to overlapping hyperspheres are *replicated*; a query simply
+// identifies the nearest sphere center and scans only that sphere, and
+// the spheres are built large enough that the true nearest neighbor is
+// inside with a target probability.
+//
+// Construction follows the paper's sampling recipe: sphere centers are
+// sampled from the data; a training sample of dataset queries measures,
+// for each query, the rank (by distance from the query's nearest center)
+// of the query's true nearest neighbor; the sphere size L is the target
+// quantile of those ranks. Each sphere then stores the L descriptors
+// nearest to its center — with replication across spheres, which is
+// exactly the space-for-time trade.
+//
+// As the paper notes, the guarantee covers only the first nearest
+// neighbor; k-NN results beyond it are best-effort.
+package psphere
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+// Config controls construction.
+type Config struct {
+	// Centers is the number of spheres (0 = n/1000, min 4).
+	Centers int
+	// TargetProb is the probability that a dataset query's true NN lies
+	// in its nearest sphere (0 = 0.9).
+	TargetProb float64
+	// TrainQueries is the size of the calibration sample (0 = 200).
+	TrainQueries int
+	// MaxL caps the sphere size (0 = n).
+	MaxL int
+	Seed int64
+}
+
+// Index is a built P-Sphere tree.
+type Index struct {
+	coll    *descriptor.Collection
+	centers []vec.Vector
+	// lists[c] holds the positions of the L descriptors nearest to
+	// center c, ascending by distance from the center.
+	lists [][]int32
+	l     int
+}
+
+// Build constructs the index. It costs O(centers × n log n) and replicates
+// descriptors, as the original does.
+func Build(coll *descriptor.Collection, cfg Config) (*Index, error) {
+	n := coll.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("psphere: empty collection")
+	}
+	m := cfg.Centers
+	if m == 0 {
+		m = n / 1000
+	}
+	if m < 4 {
+		m = 4
+	}
+	if m > n {
+		m = n
+	}
+	p := cfg.TargetProb
+	if p == 0 {
+		p = 0.9
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("psphere: TargetProb %v out of (0,1)", p)
+	}
+	train := cfg.TrainQueries
+	if train == 0 {
+		train = 200
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ix := &Index{coll: coll}
+	perm := r.Perm(n)
+	for c := 0; c < m; c++ {
+		ix.centers = append(ix.centers, coll.Vec(perm[c]).Clone())
+	}
+
+	// Order all descriptors by distance from every center.
+	orders := make([][]int32, m)
+	for c := 0; c < m; c++ {
+		ord := make([]int32, n)
+		dists := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ord[i] = int32(i)
+			dists[i] = vec.SquaredDistance(ix.centers[c], coll.Vec(i))
+		}
+		sort.Slice(ord, func(a, b int) bool { return dists[ord[a]] < dists[ord[b]] })
+		orders[c] = ord
+	}
+
+	// Calibrate L: for each training query, the rank of its true NN in
+	// its nearest sphere's order.
+	ranks := make([]int, 0, train)
+	for t := 0; t < train; t++ {
+		qi := r.Intn(n)
+		q := coll.Vec(qi)
+		c := ix.nearestCenter(q)
+		// True NN excluding the query point itself (a dataset query's NN
+		// at distance zero is trivially itself).
+		nn := scan.KNN(coll, q, 2)
+		target := nn[0].ID
+		if target == coll.IDAt(qi) && len(nn) > 1 {
+			target = nn[1].ID
+		}
+		for rank, pos := range orders[c] {
+			if coll.IDAt(int(pos)) == target {
+				ranks = append(ranks, rank+1)
+				break
+			}
+		}
+	}
+	sort.Ints(ranks)
+	l := n
+	if len(ranks) > 0 {
+		l = ranks[int(p*float64(len(ranks)-1))]
+	}
+	if cfg.MaxL > 0 && l > cfg.MaxL {
+		l = cfg.MaxL
+	}
+	if l < 1 {
+		l = 1
+	}
+	if l > n {
+		l = n
+	}
+	ix.l = l
+	for c := 0; c < m; c++ {
+		ix.lists = append(ix.lists, orders[c][:l:l])
+	}
+	return ix, nil
+}
+
+// Centers returns the number of spheres.
+func (ix *Index) Centers() int { return len(ix.centers) }
+
+// SphereSize returns L, the calibrated descriptors per sphere.
+func (ix *Index) SphereSize() int { return ix.l }
+
+// ReplicationFactor returns stored descriptors / collection size — the
+// disk-space cost of the scheme.
+func (ix *Index) ReplicationFactor() float64 {
+	return float64(len(ix.centers)*ix.l) / float64(ix.coll.Len())
+}
+
+func (ix *Index) nearestCenter(q vec.Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ctr := range ix.centers {
+		if d := vec.SquaredDistance(q, ctr); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Stats reports the work of one query.
+type Stats struct {
+	Sphere  int // index of the scanned sphere
+	Scanned int // descriptors scanned
+}
+
+// Query finds the nearest sphere center and scans only that sphere.
+func (ix *Index) Query(q vec.Vector, k int) ([]knn.Neighbor, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	c := ix.nearestCenter(q)
+	st.Sphere = c
+	heap := knn.NewHeap(k)
+	for _, pos := range ix.lists[c] {
+		d := vec.Distance(q, ix.coll.Vec(int(pos)))
+		heap.Offer(ix.coll.IDAt(int(pos)), d)
+		st.Scanned++
+	}
+	return heap.Sorted(), st
+}

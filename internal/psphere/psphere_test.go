@@ -1,0 +1,115 @@
+package psphere
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/scan"
+)
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(descriptor.NewCollection(4, 0), Config{}); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(500, 1))
+	if _, err := Build(ds.Collection, Config{TargetProb: 1.5}); err == nil {
+		t.Fatal("TargetProb 1.5 accepted")
+	}
+}
+
+func TestShape(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 2))
+	ix, err := Build(ds.Collection, Config{Centers: 10, TargetProb: 0.9, TrainQueries: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Centers() != 10 {
+		t.Fatalf("Centers = %d", ix.Centers())
+	}
+	if ix.SphereSize() < 1 || ix.SphereSize() > ds.Collection.Len() {
+		t.Fatalf("SphereSize = %d", ix.SphereSize())
+	}
+	if rf := ix.ReplicationFactor(); rf <= 0 {
+		t.Fatalf("ReplicationFactor = %v", rf)
+	}
+}
+
+// The construction promise: a dataset query's true nearest neighbor is in
+// the scanned sphere with roughly the target probability.
+func TestNNProbability(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(4000, 4))
+	coll := ds.Collection
+	ix, err := Build(coll, Config{Centers: 12, TargetProb: 0.9, TrainQueries: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(6))
+	hits, trials := 0, 60
+	for i := 0; i < trials; i++ {
+		qi := r.Intn(coll.Len())
+		q := coll.Vec(qi)
+		nn := scan.KNN(coll, q, 2)
+		target := nn[0].ID
+		if target == coll.IDAt(qi) && len(nn) > 1 {
+			target = nn[1].ID
+		}
+		got, _ := ix.Query(q, ix.SphereSize())
+		for _, g := range got {
+			if g.ID == target {
+				hits++
+				break
+			}
+		}
+	}
+	frac := float64(hits) / float64(trials)
+	// Allow calibration noise; 0.9 target should not collapse below 0.7.
+	if frac < 0.7 {
+		t.Fatalf("true NN found in sphere for only %.0f%% of queries, want ≥70%%", frac*100)
+	}
+}
+
+// Scanning one sphere must be much cheaper than a full scan.
+func TestQueryScansOneSphere(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(4000, 7))
+	ix, err := Build(ds.Collection, Config{Centers: 12, TargetProb: 0.8, TrainQueries: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := ix.Query(ds.Collection.Vec(9), 10)
+	if st.Scanned != ix.SphereSize() {
+		t.Fatalf("scanned %d, want sphere size %d", st.Scanned, ix.SphereSize())
+	}
+}
+
+func TestQueryEdges(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(800, 9))
+	ix, err := Build(ds.Collection, Config{Centers: 6, TrainQueries: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ix.Query(ds.Collection.Vec(0), 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	got, _ := ix.Query(ds.Collection.Vec(0), 5)
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not ordered")
+		}
+	}
+}
+
+func TestMaxLCap(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(1500, 10))
+	ix, err := Build(ds.Collection, Config{Centers: 6, TrainQueries: 40, MaxL: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SphereSize() > 50 {
+		t.Fatalf("SphereSize %d exceeds MaxL", ix.SphereSize())
+	}
+}

@@ -1,0 +1,45 @@
+// Package roundrobin implements the paper's §1.1 strawman chunk-forming
+// strategy: "by distributing descriptors to chunks in a round-robin
+// manner, chunks of uniform size are obtained, but the quality will
+// suffer". It is the lower baseline of the quality axis in the ablation
+// experiments.
+package roundrobin
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+)
+
+// Chunks distributes the descriptors at the given indexes (nil = whole
+// collection) round-robin over ceil(n/chunkSize) chunks of near-uniform
+// size, then computes exact centroids and radii per chunk.
+func Chunks(coll *descriptor.Collection, indexes []int, chunkSize int) ([]*cluster.Cluster, error) {
+	if chunkSize < 1 {
+		return nil, fmt.Errorf("roundrobin: chunk size %d < 1", chunkSize)
+	}
+	if indexes == nil {
+		indexes = make([]int, coll.Len())
+		for i := range indexes {
+			indexes[i] = i
+		}
+	}
+	n := len(indexes)
+	if n == 0 {
+		return nil, nil
+	}
+	k := (n + chunkSize - 1) / chunkSize
+	members := make([][]int, k)
+	for pos, idx := range indexes {
+		c := pos % k
+		members[c] = append(members[c], idx)
+	}
+	out := make([]*cluster.Cluster, 0, k)
+	for _, m := range members {
+		if len(m) > 0 {
+			out = append(out, cluster.NewFromMembers(coll, m))
+		}
+	}
+	return out, nil
+}

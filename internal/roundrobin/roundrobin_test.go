@@ -1,0 +1,91 @@
+package roundrobin
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/imagegen"
+)
+
+func TestUniformSizes(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 1))
+	coll := ds.Collection
+	chunks, err := Chunks(coll, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cluster.Summarize(chunks)
+	if stats.Descriptors != coll.Len() {
+		t.Fatalf("chunks cover %d of %d", stats.Descriptors, coll.Len())
+	}
+	if stats.MaxSize-stats.MinSize > 1 {
+		t.Fatalf("sizes not uniform: min %d max %d", stats.MinSize, stats.MaxSize)
+	}
+	for _, c := range chunks {
+		if err := c.Validate(coll); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Round-robin chunks must span nearly the whole space: their radii should
+// be enormous compared to a localized chunking. This is exactly why "the
+// quality will suffer" (§1.1).
+func TestChunksAreDelocalized(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 2))
+	coll := ds.Collection
+	chunks, err := Chunks(coll, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := coll.Bounds()
+	halfDiag := 0.5 * clusterDist(b.Min, b.Max)
+	for _, c := range chunks {
+		if c.Radius < halfDiag*0.3 {
+			t.Fatalf("round-robin chunk unexpectedly tight: radius %.1f vs half-diagonal %.1f", c.Radius, halfDiag)
+		}
+	}
+}
+
+func clusterDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return sqrt(s)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestErrors(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(500, 3))
+	if _, err := Chunks(ds.Collection, nil, 0); err == nil {
+		t.Fatal("chunk size 0 accepted")
+	}
+	got, err := Chunks(ds.Collection, []int{}, 10)
+	if err != nil || got != nil {
+		t.Fatalf("empty indexes: %v %v", got, err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(1000, 4))
+	idx := []int{0, 5, 10, 15, 20, 25}
+	chunks, err := Chunks(ds.Collection, idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.TotalMembers(chunks) != 6 {
+		t.Fatalf("covered %d, want 6", cluster.TotalMembers(chunks))
+	}
+}

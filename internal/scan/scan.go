@@ -1,0 +1,117 @@
+// Package scan implements the sequential-scan exact k-NN search the paper
+// uses as the ground-truth oracle for its precision measurements (§5.4:
+// "To measure precision, we first ran a sequential scan of the collection,
+// and stored the identifiers of the returned descriptors").
+package scan
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/descriptor"
+	"repro/internal/knn"
+	"repro/internal/vec"
+)
+
+// KNN returns the exact k nearest descriptors of q in coll, ordered by
+// increasing distance.
+func KNN(coll *descriptor.Collection, q vec.Vector, k int) []knn.Neighbor {
+	if k <= 0 || coll.Len() == 0 {
+		return nil
+	}
+	// Bounded max-heap over squared distances; take sqrt only at the end.
+	type ent struct {
+		id descriptor.ID
+		d2 float64
+	}
+	items := make([]ent, 0, k)
+	worst := math.Inf(1)
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if items[p].d2 >= items[i].d2 {
+				break
+			}
+			items[p], items[i] = items[i], items[p]
+			i = p
+		}
+	}
+	down := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(items) && items[l].d2 > items[big].d2 {
+				big = l
+			}
+			if r < len(items) && items[r].d2 > items[big].d2 {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			items[i], items[big] = items[big], items[i]
+			i = big
+		}
+	}
+	for i := 0; i < coll.Len(); i++ {
+		d2 := vec.SquaredDistance(q, coll.Vec(i))
+		if len(items) < k {
+			items = append(items, ent{coll.IDAt(i), d2})
+			up(len(items) - 1)
+			if len(items) == k {
+				worst = items[0].d2
+			}
+			continue
+		}
+		if d2 >= worst {
+			continue
+		}
+		items[0] = ent{coll.IDAt(i), d2}
+		down()
+		worst = items[0].d2
+	}
+	out := make([]knn.Neighbor, len(items))
+	for i, e := range items {
+		out[i] = knn.Neighbor{ID: e.id, Dist: math.Sqrt(e.d2)}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}
+
+// GroundTruth precomputes the exact top-k id sets for a batch of queries.
+type GroundTruth struct {
+	K   int
+	IDs [][]descriptor.ID // per query, ordered by increasing distance
+}
+
+// Compute builds the ground truth for all queries.
+func Compute(coll *descriptor.Collection, queries []vec.Vector, k int) *GroundTruth {
+	gt := &GroundTruth{K: k, IDs: make([][]descriptor.ID, len(queries))}
+	for qi, q := range queries {
+		nn := KNN(coll, q, k)
+		ids := make([]descriptor.ID, len(nn))
+		for i, n := range nn {
+			ids[i] = n.ID
+		}
+		gt.IDs[qi] = ids
+	}
+	return gt
+}
+
+// Found counts how many of query qi's true top-k appear among the given
+// neighbors (the paper's "neighbors found" axis).
+func (g *GroundTruth) Found(qi int, neighbors []knn.Neighbor) int {
+	truth := g.IDs[qi]
+	set := make(map[descriptor.ID]struct{}, len(truth))
+	for _, id := range truth {
+		set[id] = struct{}{}
+	}
+	n := 0
+	for _, nb := range neighbors {
+		if _, ok := set[nb.ID]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/descriptor"
+	"repro/internal/vec"
+)
+
+func randColl(r *rand.Rand, n, dims int) *descriptor.Collection {
+	c := descriptor.NewCollection(dims, n)
+	v := make(vec.Vector, dims)
+	for i := 0; i < n; i++ {
+		for d := range v {
+			v[d] = float32(r.NormFloat64() * 10)
+		}
+		c.Append(descriptor.ID(i), v)
+	}
+	return c
+}
+
+func TestKNNAgainstSort(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		coll := randColl(r, 200, 8)
+		q := make(vec.Vector, 8)
+		for d := range q {
+			q[d] = float32(r.NormFloat64() * 10)
+		}
+		got := KNN(coll, q, 25)
+		// Oracle: full sort.
+		all := make([]float64, coll.Len())
+		for i := 0; i < coll.Len(); i++ {
+			all[i] = vec.Distance(q, coll.Vec(i))
+		}
+		sort.Float64s(all)
+		if len(got) != 25 {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-all[i]) > 1e-9 {
+				return false
+			}
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	coll := randColl(r, 10, 4)
+	q := coll.Vec(0)
+	if got := KNN(coll, q, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := KNN(descriptor.NewCollection(4, 0), q, 5); got != nil {
+		t.Fatal("empty collection should return nil")
+	}
+	got := KNN(coll, q, 50)
+	if len(got) != 10 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got[0].Dist != 0 {
+		t.Fatalf("self distance = %v", got[0].Dist)
+	}
+}
+
+func TestGroundTruthFound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	coll := randColl(r, 100, 6)
+	queries := []vec.Vector{coll.Vec(3).Clone(), coll.Vec(50).Clone()}
+	gt := Compute(coll, queries, 10)
+	if len(gt.IDs) != 2 || len(gt.IDs[0]) != 10 {
+		t.Fatalf("ground truth shape wrong")
+	}
+	// The truth itself scores 10/10.
+	nn := KNN(coll, queries[0], 10)
+	if got := gt.Found(0, nn); got != 10 {
+		t.Fatalf("Found(truth) = %d", got)
+	}
+	// Disjoint ids score 0.
+	fake := []struct{}{}
+	_ = fake
+	none := nn[:0:0]
+	if got := gt.Found(0, none); got != 0 {
+		t.Fatalf("Found(empty) = %d", got)
+	}
+}
+
+func BenchmarkScan100k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	coll := randColl(r, 100000, vec.Dims)
+	q := coll.Vec(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KNN(coll, q, 30)
+	}
+}

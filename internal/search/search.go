@@ -1,0 +1,212 @@
+// Package search implements the paper's approximate search algorithm over
+// a chunk index (§4.3):
+//
+//  1. Compute the distance from the query descriptor to the centroid of
+//     every chunk and rank chunks by increasing distance.
+//  2. Read chunks in rank order; scan every descriptor of each chunk,
+//     updating the current k-NN set.
+//  3. After each chunk, apply the stop rule: stop after a fixed number of
+//     chunks, stop after a time threshold, or run to completion — the
+//     exact rule that stops once k neighbors are known and no remaining
+//     chunk's lower bound (centroid distance minus radius, the reason
+//     radii are stored in the index) can beat the current k-th neighbor.
+//
+// Elapsed time is tracked on the simdisk cost model so the paper's 2005
+// wall-clock magnitudes are reproduced deterministically; real wall time
+// is measured as well.
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/knn"
+	"repro/internal/simdisk"
+	"repro/internal/vec"
+)
+
+// Neighbor is one result entry.
+type Neighbor = knn.Neighbor
+
+// StopRule decides whether the search may halt after a chunk has been
+// processed.
+type StopRule interface {
+	// Done is consulted after each processed chunk. chunksRead is the
+	// number of chunks processed so far, elapsed the simulated time,
+	// kthDist the current k-th neighbor distance (+Inf while fewer than k
+	// found) and remainingBound the lowest possible distance any unread
+	// chunk could contain (+Inf when no chunks remain).
+	Done(chunksRead int, elapsed time.Duration, kthDist, remainingBound float64) bool
+	fmt.Stringer
+}
+
+// ChunkBudget stops after reading a fixed number of chunks — the paper's
+// "simple and natural stop rule is to process only the c nearest chunks".
+type ChunkBudget int
+
+// Done implements StopRule.
+func (b ChunkBudget) Done(chunksRead int, _ time.Duration, _, _ float64) bool {
+	return chunksRead >= int(b)
+}
+
+func (b ChunkBudget) String() string { return fmt.Sprintf("chunks<=%d", int(b)) }
+
+// TimeBudget stops once the simulated elapsed time passes the threshold —
+// the rule the paper's §5.7 concludes is the more natural one.
+type TimeBudget time.Duration
+
+// Done implements StopRule.
+func (t TimeBudget) Done(_ int, elapsed time.Duration, _, _ float64) bool {
+	return elapsed >= time.Duration(t)
+}
+
+func (t TimeBudget) String() string { return fmt.Sprintf("time<=%v", time.Duration(t)) }
+
+// ToCompletion runs the exact search: it stops only when the k-NN set is
+// full and no unread chunk can contain anything closer than the current
+// k-th neighbor.
+type ToCompletion struct{}
+
+// Done implements StopRule.
+func (ToCompletion) Done(_ int, _ time.Duration, kthDist, remainingBound float64) bool {
+	return remainingBound > kthDist
+}
+
+func (ToCompletion) String() string { return "completion" }
+
+// Options configures a search.
+type Options struct {
+	K       int
+	Stop    StopRule
+	Model   *simdisk.Model // nil means simdisk.Default2005()
+	Overlap bool           // overlap I/O with CPU in the simulated pipeline
+	// Trace, if non-nil, receives one event per processed chunk.
+	Trace func(Event)
+}
+
+// Event reports the search state right after one chunk was processed.
+type Event struct {
+	Ordinal    int           // 1-based rank of the chunk in the processing order
+	ChunkIndex int           // position of the chunk in the store
+	ChunkCount int           // descriptors in the chunk
+	Elapsed    time.Duration // simulated elapsed time including this chunk
+	// Neighbors is the current k-NN set (unordered); the slice is reused
+	// between events and must not be retained.
+	Neighbors []Neighbor
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	Neighbors  []Neighbor    // ordered by increasing distance
+	ChunksRead int           // chunks processed
+	Elapsed    time.Duration // simulated elapsed time (index read + chunks)
+	IndexRead  time.Duration // simulated cost of reading + ranking the index
+	Wall       time.Duration // real wall-clock time of this call
+	Exact      bool          // true if the exact stop condition held at the end
+}
+
+// Searcher executes queries against one chunk store.
+type Searcher struct {
+	store chunkfile.Store
+	model *simdisk.Model
+}
+
+// New returns a Searcher over the given store.
+func New(store chunkfile.Store, model *simdisk.Model) *Searcher {
+	if model == nil {
+		model = simdisk.Default2005()
+	}
+	return &Searcher{store: store, model: model}
+}
+
+// Search runs one query. The default stop rule is ToCompletion and the
+// default K is 30 (the paper's quality metric is precision within the top
+// 30).
+func (s *Searcher) Search(q vec.Vector, opts Options) (*Result, error) {
+	start := time.Now()
+	if opts.K <= 0 {
+		opts.K = 30
+	}
+	if opts.Stop == nil {
+		opts.Stop = ToCompletion{}
+	}
+	model := opts.Model
+	if model == nil {
+		model = s.model
+	}
+	metas := s.store.Meta()
+	dims := s.store.Dims()
+	if len(q) != dims {
+		return nil, fmt.Errorf("search: query dims %d != store dims %d", len(q), dims)
+	}
+
+	// Step 1: global ranking of chunks by centroid distance.
+	type rankedChunk struct {
+		idx   int
+		dist  float64
+		bound float64
+	}
+	ranked := make([]rankedChunk, len(metas))
+	for i, m := range metas {
+		d := vec.Distance(q, m.Centroid)
+		lb := d - m.Radius
+		if lb < 0 {
+			lb = 0
+		}
+		ranked[i] = rankedChunk{idx: i, dist: d, bound: lb}
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].dist < ranked[b].dist })
+	// suffixBound[i] = min lower bound over ranked[i:]; +Inf past the end.
+	suffixBound := make([]float64, len(ranked)+1)
+	suffixBound[len(ranked)] = math.Inf(1)
+	for i := len(ranked) - 1; i >= 0; i-- {
+		suffixBound[i] = math.Min(suffixBound[i+1], ranked[i].bound)
+	}
+
+	indexRead := model.IndexReadTime(len(metas), chunkfile.EntrySize(dims))
+	pipe := simdisk.NewPipeline(model, opts.Overlap, indexRead)
+
+	res := &Result{IndexRead: indexRead, Elapsed: indexRead}
+	heap := knn.NewHeap(opts.K)
+	var data chunkfile.Data
+	eventNeighbors := make([]Neighbor, 0, opts.K)
+
+	for pos, rc := range ranked {
+		m := metas[rc.idx]
+		if err := s.store.ReadChunk(rc.idx, &data); err != nil {
+			return nil, err
+		}
+		for k := 0; k < data.Len(); k++ {
+			d := vec.Distance(q, data.Vec(k))
+			heap.Offer(data.IDs[k], d)
+		}
+		elapsed := pipe.Chunk(m.Bytes, m.Count)
+		res.ChunksRead++
+		res.Elapsed = elapsed
+
+		if opts.Trace != nil {
+			eventNeighbors = heap.AppendAll(eventNeighbors[:0])
+			opts.Trace(Event{
+				Ordinal:    pos + 1,
+				ChunkIndex: rc.idx,
+				ChunkCount: m.Count,
+				Elapsed:    elapsed,
+				Neighbors:  eventNeighbors,
+			})
+		}
+
+		if opts.Stop.Done(res.ChunksRead, elapsed, heap.Kth(), suffixBound[pos+1]) {
+			res.Exact = suffixBound[pos+1] > heap.Kth()
+			break
+		}
+	}
+	if res.ChunksRead == len(ranked) {
+		res.Exact = true
+	}
+	res.Neighbors = heap.Sorted()
+	res.Wall = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+// The three calibration anchors from the paper (§5.5). The model does not
+// need to hit them exactly — the paper's own numbers are rounded — but it
+// must land in the right neighborhood, or every reproduced figure drifts.
+
+func TestAnchorSRChunk(t *testing.T) {
+	m := Default2005()
+	// An SR-tree MEDIUM chunk: ~1,719 descriptors × 100 bytes.
+	p := NewPipeline(m, false, 0)
+	got := p.Chunk(1719*100, 1719)
+	if got < 8*time.Millisecond || got > 16*time.Millisecond {
+		t.Fatalf("SR chunk cost = %v, want ~10ms", got)
+	}
+}
+
+func TestAnchorGiantBAGChunk(t *testing.T) {
+	m := Default2005()
+	// The largest BAG/LARGE chunk: ~1M descriptors. The paper's 1.8 s is
+	// the processing cost of that chunk mid-query, i.e. the steady-state
+	// marginal pipeline cost with its read overlapped by earlier CPU work.
+	p := NewPipeline(m, true, 0)
+	before := p.Chunk(1000000*100, 1000000)
+	after := p.Chunk(1000000*100, 1000000)
+	got := after - before
+	if got < 1500*time.Millisecond || got > 2100*time.Millisecond {
+		t.Fatalf("giant BAG chunk marginal cost = %v, want ~1.8s", got)
+	}
+}
+
+func TestAnchorIndexRead(t *testing.T) {
+	m := Default2005()
+	// The MEDIUM indexes hold ~2,700 entries; paper reports ~50ms.
+	got := m.IndexReadTime(2685, 120)
+	if got < 35*time.Millisecond || got > 70*time.Millisecond {
+		t.Fatalf("index read = %v, want ~50ms", got)
+	}
+}
+
+// Full-scan completion for SR/SMALL on the DQ workload took 45.0 s in the
+// paper (Table 2): 4,747 chunks of ~942 descriptors, essentially all read.
+func TestAnchorTable2FullScan(t *testing.T) {
+	m := Default2005()
+	p := NewPipeline(m, true, m.IndexReadTime(4747, 120))
+	var last time.Duration
+	for i := 0; i < 4747; i++ {
+		last = p.Chunk(942*100, 942)
+	}
+	if last < 35*time.Second || last > 55*time.Second {
+		t.Fatalf("SR/SMALL completion = %v, want ~45s", last)
+	}
+}
+
+func TestReadTimeMonotone(t *testing.T) {
+	m := Default2005()
+	if m.ReadTime(0) != m.Seek {
+		t.Fatalf("ReadTime(0) = %v, want seek only", m.ReadTime(0))
+	}
+	if m.ReadTime(-5) != m.Seek {
+		t.Fatalf("negative bytes should clamp")
+	}
+	if m.ReadTime(1<<20) <= m.ReadTime(1<<10) {
+		t.Fatal("ReadTime not monotone in size")
+	}
+}
+
+func TestCPUTimeLinear(t *testing.T) {
+	m := Default2005()
+	if m.CPUTime(2000) != 2*m.CPUTime(1000) {
+		t.Fatal("CPUTime not linear")
+	}
+	if m.CPUTime(0) != 0 {
+		t.Fatal("CPUTime(0) != 0")
+	}
+}
+
+// Overlapped elapsed time must never exceed serial elapsed time, and both
+// must be monotone in the number of chunks processed.
+func TestOverlapNeverSlower(t *testing.T) {
+	m := Default2005()
+	sizes := []int{500, 20000, 100, 1500, 900, 300000, 50}
+	po := NewPipeline(m, true, time.Millisecond)
+	ps := NewPipeline(m, false, time.Millisecond)
+	var prevO, prevS time.Duration
+	for _, n := range sizes {
+		o := po.Chunk(n*100, n)
+		s := ps.Chunk(n*100, n)
+		if o > s {
+			t.Fatalf("overlapped %v > serial %v after chunk of %d", o, s, n)
+		}
+		if o < prevO || s < prevS {
+			t.Fatal("elapsed time went backwards")
+		}
+		prevO, prevS = o, s
+	}
+}
+
+// With CPU-dominant chunks the overlapped pipeline approaches pure CPU
+// time; with IO-dominant chunks it approaches pure IO time.
+func TestPipelineBottleneck(t *testing.T) {
+	m := &Model{Seek: 0, TransferRate: 1 << 30, DistanceCost: time.Microsecond}
+	p := NewPipeline(m, true, 0)
+	for i := 0; i < 10; i++ {
+		p.Chunk(1000, 100000) // io ~1µs, cpu 100ms
+	}
+	cpuTotal := 10 * m.CPUTime(100000)
+	if diff := p.Elapsed() - cpuTotal; diff < 0 || diff > cpuTotal/100 {
+		t.Fatalf("CPU-bound pipeline elapsed %v, want ~%v", p.Elapsed(), cpuTotal)
+	}
+
+	m2 := &Model{Seek: 10 * time.Millisecond, TransferRate: 1 << 20, DistanceCost: time.Nanosecond}
+	p2 := NewPipeline(m2, true, 0)
+	var ioTotal time.Duration
+	for i := 0; i < 10; i++ {
+		p2.Chunk(1<<20, 10)
+		ioTotal += m2.ReadTime(1 << 20)
+	}
+	slack := m2.CPUTime(10) // the last chunk's CPU tail
+	if p2.Elapsed() < ioTotal || p2.Elapsed() > ioTotal+10*slack {
+		t.Fatalf("IO-bound pipeline elapsed %v, want ~%v", p2.Elapsed(), ioTotal)
+	}
+}
+
+func TestIndexReadScalesWithEntries(t *testing.T) {
+	m := Default2005()
+	if m.IndexReadTime(4747, 120) <= m.IndexReadTime(1863, 120) {
+		t.Fatal("index read not monotone in entry count")
+	}
+	if m.IndexReadTime(0, 120) < m.Seek {
+		t.Fatal("empty index read below a single seek")
+	}
+}

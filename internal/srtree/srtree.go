@@ -1,0 +1,527 @@
+// Package srtree implements the SR-tree of Katayama & Satoh (SIGMOD 1997),
+// the index the paper adapts to form uniformly sized chunks (§2).
+//
+// Each node stores both a bounding sphere (centered on the centroid of the
+// descriptors below it) and a bounding rectangle; the effective region is
+// their intersection, which gives tighter nearest-neighbor bounds in high
+// dimensions than either alone. Two build paths are provided:
+//
+//   - Build: the static bulk-load the paper uses ("we used the static
+//     build method, as it was much faster and guaranteed uniform leaf
+//     size"). It recursively median-splits on the highest-variance
+//     dimension, always cutting at a multiple of the leaf capacity, so
+//     every leaf except at most one holds exactly LeafCap descriptors.
+//   - Insert: the dynamic insertion path (descend to the child with the
+//     nearest centroid, split on overflow), provided for completeness and
+//     used to cross-check the static build in tests.
+//
+// Chunks extracts one chunk per leaf and discards the upper levels of the
+// tree, exactly the paper's §2 adaptation.
+package srtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/vec"
+)
+
+// DefaultFanout is the internal-node fanout used when none is specified.
+const DefaultFanout = 16
+
+// Tree is an SR-tree over a descriptor collection. The tree references
+// descriptors by index into the collection; the collection must outlive
+// the tree and must not be mutated.
+type Tree struct {
+	coll    *descriptor.Collection
+	root    *node
+	leafCap int
+	fanout  int
+	size    int
+}
+
+type node struct {
+	leaf     bool
+	children []*node // internal nodes
+	entries  []int   // leaf nodes: descriptor indexes
+	centroid vec.Vector
+	radius   float64
+	rect     vec.Bounds
+	count    int
+}
+
+// Build bulk-loads an SR-tree over the descriptors at the given indexes
+// (nil means the whole collection) with the given leaf capacity.
+func Build(coll *descriptor.Collection, indexes []int, leafCap, fanout int) (*Tree, error) {
+	if leafCap < 1 {
+		return nil, fmt.Errorf("srtree: leaf capacity %d < 1", leafCap)
+	}
+	if fanout == 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("srtree: fanout %d < 2", fanout)
+	}
+	if indexes == nil {
+		indexes = make([]int, coll.Len())
+		for i := range indexes {
+			indexes[i] = i
+		}
+	} else {
+		indexes = append([]int(nil), indexes...)
+	}
+	t := &Tree{coll: coll, leafCap: leafCap, fanout: fanout, size: len(indexes)}
+	if len(indexes) == 0 {
+		t.root = t.newLeaf(nil)
+		return t, nil
+	}
+	leaves := t.bulkLeaves(indexes)
+	t.root = t.buildUp(leaves)
+	return t, nil
+}
+
+// bulkLeaves recursively median-splits idx on the highest-variance
+// dimension, cutting at multiples of leafCap so leaf sizes stay uniform.
+func (t *Tree) bulkLeaves(idx []int) []*node {
+	if len(idx) <= t.leafCap {
+		return []*node{t.newLeaf(idx)}
+	}
+	dim := t.spreadDim(idx)
+	sort.Slice(idx, func(a, b int) bool {
+		return t.coll.Vec(idx[a])[dim] < t.coll.Vec(idx[b])[dim]
+	})
+	// Cut as close to the middle as possible while keeping the left side a
+	// multiple of leafCap, so only the rightmost leaf can be short.
+	nLeaves := (len(idx) + t.leafCap - 1) / t.leafCap
+	cut := (nLeaves / 2) * t.leafCap
+	if cut == 0 {
+		cut = t.leafCap
+	}
+	left := t.bulkLeaves(idx[:cut])
+	right := t.bulkLeaves(idx[cut:])
+	return append(left, right...)
+}
+
+// spreadDim returns the dimension with the largest variance over idx.
+func (t *Tree) spreadDim(idx []int) int {
+	dims := t.coll.Dims()
+	sum := make([]float64, dims)
+	sqs := make([]float64, dims)
+	for _, i := range idx {
+		v := t.coll.Vec(i)
+		for d, x := range v {
+			fx := float64(x)
+			sum[d] += fx
+			sqs[d] += fx * fx
+		}
+	}
+	n := float64(len(idx))
+	best, bestVar := 0, -1.0
+	for d := 0; d < dims; d++ {
+		mean := sum[d] / n
+		variance := sqs[d]/n - mean*mean
+		if variance > bestVar {
+			best, bestVar = d, variance
+		}
+	}
+	return best
+}
+
+// buildUp assembles internal levels over the leaves, grouping fanout
+// children at a time (children are spatially adjacent thanks to the
+// recursive split order).
+func (t *Tree) buildUp(level []*node) *node {
+	for len(level) > 1 {
+		next := make([]*node, 0, (len(level)+t.fanout-1)/t.fanout)
+		for lo := 0; lo < len(level); lo += t.fanout {
+			hi := lo + t.fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := &node{children: append([]*node(nil), level[lo:hi]...)}
+			t.refit(n)
+			next = append(next, n)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func (t *Tree) newLeaf(entries []int) *node {
+	n := &node{leaf: true, entries: append([]int(nil), entries...)}
+	t.refit(n)
+	return n
+}
+
+// refit recomputes count, centroid, bounding sphere and rectangle of n
+// from its children or entries.
+func (t *Tree) refit(n *node) {
+	dims := t.coll.Dims()
+	n.rect = vec.NewBounds(dims)
+	acc := make([]float64, dims)
+	n.count = 0
+	if n.leaf {
+		for _, i := range n.entries {
+			v := t.coll.Vec(i)
+			n.rect.Absorb(v)
+			for d, x := range v {
+				acc[d] += float64(x)
+			}
+		}
+		n.count = len(n.entries)
+	} else {
+		for _, c := range n.children {
+			n.rect.AbsorbBounds(c.rect)
+			for d := range acc {
+				acc[d] += float64(c.centroid[d]) * float64(c.count)
+			}
+			n.count += c.count
+		}
+	}
+	if n.count == 0 {
+		n.centroid = make(vec.Vector, dims)
+		n.radius = 0
+		return
+	}
+	n.centroid = make(vec.Vector, dims)
+	inv := 1 / float64(n.count)
+	for d, s := range acc {
+		n.centroid[d] = float32(s * inv)
+	}
+	if n.leaf {
+		var max float64
+		for _, i := range n.entries {
+			if d := vec.Distance(n.centroid, t.coll.Vec(i)); d > max {
+				max = d
+			}
+		}
+		n.radius = max
+	} else {
+		// SR-tree parent sphere: bound the child spheres, additionally
+		// clipped by the bounding rectangle's farthest corner.
+		var max float64
+		for _, c := range n.children {
+			if d := vec.Distance(n.centroid, c.centroid) + c.radius; d > max {
+				max = d
+			}
+		}
+		if rc := t.rectFarthest(n.centroid, n.rect); rc < max {
+			max = rc
+		}
+		n.radius = max
+	}
+}
+
+// rectFarthest returns the distance from p to the farthest corner of r.
+func (t *Tree) rectFarthest(p vec.Vector, r vec.Bounds) float64 {
+	var sum float64
+	for d, x := range p {
+		lo := math.Abs(float64(x) - float64(r.Min[d]))
+		hi := math.Abs(float64(r.Max[d]) - float64(x))
+		m := math.Max(lo, hi)
+		sum += m * m
+	}
+	return math.Sqrt(sum)
+}
+
+// Len returns the number of descriptors indexed.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree) Height() int {
+	h, n := 1, t.root
+	for !n.leaf {
+		h++
+		n = n.children[0]
+	}
+	return h
+}
+
+// Insert adds descriptor index i dynamically (SR-tree insertion: descend
+// toward the child with the nearest centroid, split leaves on overflow).
+func (t *Tree) Insert(i int) {
+	t.size++
+	split := t.insert(t.root, i)
+	if split != nil {
+		old := t.root
+		t.root = &node{children: []*node{old, split}}
+		t.refit(t.root)
+	}
+}
+
+// insert returns a new sibling if the child had to split.
+func (t *Tree) insert(n *node, i int) *node {
+	if n.leaf {
+		n.entries = append(n.entries, i)
+		t.refit(n)
+		if len(n.entries) > t.leafCap {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	best, bestD := 0, math.Inf(1)
+	for ci, c := range n.children {
+		if d := vec.SquaredDistance(c.centroid, t.coll.Vec(i)); d < bestD {
+			best, bestD = ci, d
+		}
+	}
+	sibling := t.insert(n.children[best], i)
+	if sibling != nil {
+		n.children = append(n.children, sibling)
+	}
+	t.refit(n)
+	if len(n.children) > t.fanout {
+		return t.splitInternal(n)
+	}
+	return nil
+}
+
+// splitLeaf divides an overflowing leaf along its highest-variance
+// dimension at the median, returning the new right sibling.
+func (t *Tree) splitLeaf(n *node) *node {
+	dim := t.spreadDim(n.entries)
+	sort.Slice(n.entries, func(a, b int) bool {
+		return t.coll.Vec(n.entries[a])[dim] < t.coll.Vec(n.entries[b])[dim]
+	})
+	mid := len(n.entries) / 2
+	right := t.newLeaf(n.entries[mid:])
+	n.entries = n.entries[:mid]
+	t.refit(n)
+	return right
+}
+
+// splitInternal divides an overflowing internal node by child centroid
+// along the dimension with the widest centroid spread.
+func (t *Tree) splitInternal(n *node) *node {
+	dims := t.coll.Dims()
+	best, bestSpread := 0, -1.0
+	for d := 0; d < dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range n.children {
+			x := float64(c.centroid[d])
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if s := hi - lo; s > bestSpread {
+			best, bestSpread = d, s
+		}
+	}
+	sort.Slice(n.children, func(a, b int) bool {
+		return n.children[a].centroid[best] < n.children[b].centroid[best]
+	})
+	mid := len(n.children) / 2
+	right := &node{children: append([]*node(nil), n.children[mid:]...)}
+	t.refit(right)
+	n.children = n.children[:mid]
+	t.refit(n)
+	return right
+}
+
+// lowerBound returns the SR-tree lower bound on the distance from q to any
+// descriptor under n: the larger of the rectangle MINDIST and the sphere
+// bound (the region is the intersection of the two).
+func (t *Tree) lowerBound(q vec.Vector, n *node) float64 {
+	rb := math.Sqrt(n.rect.SquaredMinDist(q))
+	sb := vec.SphereLowerBound(q, n.centroid, n.radius)
+	return math.Max(rb, sb)
+}
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	Index int // position in the collection
+	ID    descriptor.ID
+	Dist  float64
+}
+
+// pqItem is a prioritized tree node for best-first search.
+type pqItem struct {
+	n     *node
+	bound float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].bound < p[j].bound }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// KNN returns the k nearest descriptors to q in increasing distance order,
+// searched best-first with the SR-tree bounds (exact result).
+func (t *Tree) KNN(q vec.Vector, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	var frontier pq
+	heap.Push(&frontier, pqItem{t.root, t.lowerBound(q, t.root)})
+	res := newResultSet(k)
+	for frontier.Len() > 0 {
+		it := heap.Pop(&frontier).(pqItem)
+		if it.bound > res.worst() {
+			break
+		}
+		if it.n.leaf {
+			for _, i := range it.n.entries {
+				d := vec.Distance(q, t.coll.Vec(i))
+				res.offer(Neighbor{Index: i, ID: t.coll.IDAt(i), Dist: d})
+			}
+			continue
+		}
+		for _, c := range it.n.children {
+			if b := t.lowerBound(q, c); b <= res.worst() {
+				heap.Push(&frontier, pqItem{c, b})
+			}
+		}
+	}
+	return res.sorted()
+}
+
+// resultSet is a bounded max-heap of the k best neighbors so far.
+type resultSet struct {
+	k     int
+	items []Neighbor
+}
+
+func newResultSet(k int) *resultSet { return &resultSet{k: k} }
+
+func (r *resultSet) worst() float64 {
+	if len(r.items) < r.k {
+		return math.Inf(1)
+	}
+	return r.items[0].Dist
+}
+
+func (r *resultSet) offer(n Neighbor) {
+	if len(r.items) < r.k {
+		r.items = append(r.items, n)
+		r.up(len(r.items) - 1)
+		return
+	}
+	if n.Dist >= r.items[0].Dist {
+		return
+	}
+	r.items[0] = n
+	r.down(0)
+}
+
+func (r *resultSet) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.items[p].Dist >= r.items[i].Dist {
+			break
+		}
+		r.items[p], r.items[i] = r.items[i], r.items[p]
+		i = p
+	}
+}
+
+func (r *resultSet) down(i int) {
+	for {
+		l, rr := 2*i+1, 2*i+2
+		big := i
+		if l < len(r.items) && r.items[l].Dist > r.items[big].Dist {
+			big = l
+		}
+		if rr < len(r.items) && r.items[rr].Dist > r.items[big].Dist {
+			big = rr
+		}
+		if big == i {
+			return
+		}
+		r.items[i], r.items[big] = r.items[big], r.items[i]
+		i = big
+	}
+}
+
+func (r *resultSet) sorted() []Neighbor {
+	out := append([]Neighbor(nil), r.items...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	return out
+}
+
+// Chunks extracts one cluster per leaf — the paper's adaptation that
+// "generates chunks from the leaves, thus throwing away the upper levels
+// of the tree" (§2). Centroid and minimum bounding radius are computed
+// exactly per chunk.
+func (t *Tree) Chunks() []*cluster.Cluster {
+	var out []*cluster.Cluster
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			if len(n.entries) > 0 {
+				out = append(out, cluster.NewFromMembers(t.coll, n.entries))
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Validate checks the structural invariants of the whole tree: counts add
+// up, every descriptor sits inside its ancestors' sphere and rectangle,
+// and leaf sizes respect the capacity. Used by tests.
+func (t *Tree) Validate() error {
+	total := 0
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.leaf {
+			if len(n.entries) > t.leafCap {
+				return fmt.Errorf("srtree: leaf holds %d > cap %d", len(n.entries), t.leafCap)
+			}
+			if n.count != len(n.entries) {
+				return fmt.Errorf("srtree: leaf count %d != entries %d", n.count, len(n.entries))
+			}
+			total += len(n.entries)
+			for _, i := range n.entries {
+				v := t.coll.Vec(i)
+				if !n.rect.Contains(v) {
+					return fmt.Errorf("srtree: entry %d outside leaf rect", i)
+				}
+				if vec.Distance(n.centroid, v) > n.radius+1e-6 {
+					return fmt.Errorf("srtree: entry %d outside leaf sphere", i)
+				}
+			}
+			return nil
+		}
+		sum := 0
+		for _, c := range n.children {
+			sum += c.count
+			// Child region must be inside the parent rectangle; the parent
+			// sphere must cover each child sphere (up to the rect clip).
+			for d := range c.rect.Min {
+				if c.rect.Min[d] < n.rect.Min[d]-1e-6 || c.rect.Max[d] > n.rect.Max[d]+1e-6 {
+					return fmt.Errorf("srtree: child rect escapes parent in dim %d", d)
+				}
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		if sum != n.count {
+			return fmt.Errorf("srtree: internal count %d != children sum %d", n.count, sum)
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("srtree: %d descriptors reachable, want %d", total, t.size)
+	}
+	return nil
+}

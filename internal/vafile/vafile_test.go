@@ -1,0 +1,196 @@
+package vafile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/scan"
+	"repro/internal/vec"
+)
+
+func TestBuildValidation(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(500, 1))
+	if _, err := Build(ds.Collection, 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := Build(ds.Collection, 9); err == nil {
+		t.Fatal("bits=9 accepted")
+	}
+	if _, err := Build(descriptor.NewCollection(4, 0), 4); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+}
+
+// The geometric heart of the VA-File: for every descriptor the true
+// distance must lie between the cell bounds.
+func TestBoundsAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := imagegen.MustGenerate(imagegen.DefaultConfig(800, seed))
+		coll := ds.Collection
+		ix, err := Build(coll, 4)
+		if err != nil {
+			return false
+		}
+		q := coll.Vec(r.Intn(coll.Len())).Clone()
+		for d := range q {
+			q[d] += float32(r.NormFloat64() * 5)
+		}
+		dims := coll.Dims()
+		for i := 0; i < coll.Len(); i += 37 {
+			lb, ub := ix.bounds(q, i, dims)
+			truth := vec.Distance(q, coll.Vec(i))
+			if lb > truth+1e-5 || ub < truth-1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exact two-phase search must equal the sequential scan.
+func TestExactMatchesScan(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 2))
+	coll := ds.Collection
+	ix, err := Build(coll, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		q := coll.Vec(r.Intn(coll.Len()))
+		got, st, err := ix.Search(q, 20, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scan.KNN(coll, q, 20)
+		if len(got) != len(want) {
+			t.Fatalf("got %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+		// The whole point: phase 2 must visit far fewer vectors than n.
+		if st.Visited >= coll.Len()/2 {
+			t.Fatalf("visited %d of %d vectors: VA filtering ineffective", st.Visited, coll.Len())
+		}
+	}
+}
+
+func TestVisitBudget(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 4))
+	coll := ds.Collection
+	ix, err := Build(coll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.Vec(55)
+	_, full, err := ix.Search(q, 20, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := full.Visited / 2
+	if budget < 1 {
+		t.Skip("too few visits to halve")
+	}
+	res, st, err := ix.Search(q, 20, Options{VisitBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Visited > budget {
+		t.Fatalf("visited %d > budget %d", st.Visited, budget)
+	}
+	if len(res) == 0 {
+		t.Fatal("budgeted search returned nothing")
+	}
+}
+
+// Epsilon must prune monotonically: more epsilon, fewer candidates.
+func TestEpsilonPrunes(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 5))
+	coll := ds.Collection
+	ix, err := Build(coll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.Vec(10)
+	var prev = math.MaxInt
+	for _, eps := range []float64{0, 2, 8} {
+		_, st, err := ix.Search(q, 10, Options{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Candidates > prev {
+			t.Fatalf("epsilon %v increased candidates: %d > %d", eps, st.Candidates, prev)
+		}
+		prev = st.Candidates
+	}
+}
+
+func TestMoreBitsTightenBounds(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(2000, 6))
+	coll := ds.Collection
+	coarse, err := Build(coll, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Build(coll, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.Vec(123)
+	_, cs, err := coarse.Search(q, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fs, err := fine.Search(q, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Candidates >= cs.Candidates {
+		t.Fatalf("finer quantization did not reduce candidates: %d vs %d", fs.Candidates, cs.Candidates)
+	}
+}
+
+func TestSearchEdges(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(500, 7))
+	ix, err := Build(ds.Collection, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(vec.Vector{1, 2}, 5, Options{}); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	res, _, err := ix.Search(ds.Collection.Vec(0), 0, Options{})
+	if err != nil || res != nil {
+		t.Fatalf("k=0: %v %v", res, err)
+	}
+	if ix.ApproximationBytes() != ds.Collection.Len()*ds.Collection.Dims() {
+		t.Fatalf("approximation bytes = %d", ix.ApproximationBytes())
+	}
+}
+
+func BenchmarkVAFileSearch(b *testing.B) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(50000, 1))
+	ix, err := Build(ds.Collection, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Collection.Vec(77)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Search(q, 30, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

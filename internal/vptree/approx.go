@@ -1,0 +1,135 @@
+package vptree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// KNearestApprox returns up to k near neighbors of q using best-first
+// traversal with a node-visit budget. With maxVisits >= Len() the result
+// is exact; smaller budgets trade accuracy for a hard cost cap, which is
+// what high-dimensional data demands (exact VP-tree search degenerates
+// toward a linear scan in 24 dimensions — the curse of dimensionality the
+// paper's §1 opens with).
+//
+// Results are ordered by increasing distance.
+func (t *Tree) KNearestApprox(q vec.Vector, k, maxVisits int) []Item {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	if maxVisits <= 0 {
+		maxVisits = 1
+	}
+
+	type scored struct {
+		item Item
+		dist float64
+	}
+	best := make([]scored, 0, k) // max-heap on dist
+	worst := func() float64 {
+		if len(best) < k {
+			return inf()
+		}
+		return best[0].dist
+	}
+	push := func(s scored) {
+		best = append(best, s)
+		i := len(best) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if best[p].dist >= best[i].dist {
+				break
+			}
+			best[p], best[i] = best[i], best[p]
+			i = p
+		}
+		if len(best) > k {
+			last := len(best) - 1
+			best[0] = best[last]
+			best = best[:last]
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				big := i
+				if l < len(best) && best[l].dist > best[big].dist {
+					big = l
+				}
+				if r < len(best) && best[r].dist > best[big].dist {
+					big = r
+				}
+				if big == i {
+					break
+				}
+				best[i], best[big] = best[big], best[i]
+				i = big
+			}
+		}
+	}
+
+	frontier := &nodePQ{}
+	heap.Push(frontier, nodeCand{t.root, 0})
+	visits := 0
+	for frontier.Len() > 0 && visits < maxVisits {
+		nc := heap.Pop(frontier).(nodeCand)
+		n := nc.n
+		if nc.bound >= worst() {
+			break // nothing in the frontier can improve the result
+		}
+		visits++
+		d := vec.Distance(q, n.item.Vec)
+		if d < worst() {
+			push(scored{n.item, d})
+		}
+		// Enqueue children with their pruning lower bounds.
+		if n.inside != nil {
+			lb := d - n.threshold
+			if lb < 0 {
+				lb = 0
+			}
+			if lb < worst() {
+				heap.Push(frontier, nodeCand{n.inside, lb})
+			}
+		}
+		if n.outside != nil {
+			lb := n.threshold - d
+			if lb < 0 {
+				lb = 0
+			}
+			if lb < worst() {
+				heap.Push(frontier, nodeCand{n.outside, lb})
+			}
+		}
+	}
+
+	out := make([]Item, len(best))
+	dists := make([]float64, len(best))
+	for i, s := range best {
+		out[i], dists[i] = s.item, s.dist
+	}
+	sort.Sort(&byDist{out, dists})
+	return out
+}
+
+func inf() float64 { return math.Inf(1) }
+
+type nodeCand struct {
+	n     *node
+	bound float64
+}
+
+type nodePQ []nodeCand
+
+func (p nodePQ) Len() int            { return len(p) }
+func (p nodePQ) Less(i, j int) bool  { return p[i].bound < p[j].bound }
+func (p nodePQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *nodePQ) Push(x interface{}) { *p = append(*p, x.(nodeCand)) }
+func (p *nodePQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}

@@ -1,0 +1,238 @@
+// Package vptree implements a vantage-point tree over float32 vectors.
+//
+// The tree supports exact nearest-neighbor and range queries in any metric
+// space; here it is specialized to Euclidean distance. It is used as the
+// candidate-search accelerator for BAG clustering (finding the nearest
+// cluster centroid without scanning all clusters; see DESIGN.md §2) and as
+// a standalone exact-search substrate in tests.
+package vptree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Item is a payload stored in the tree: a point plus an opaque id the
+// caller uses to map results back.
+type Item struct {
+	ID  int
+	Vec vec.Vector
+}
+
+type node struct {
+	item      Item
+	threshold float64 // median distance from item to points in the subtree
+	inside    *node   // points with dist <= threshold
+	outside   *node   // points with dist > threshold
+}
+
+// Tree is an immutable vantage-point tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+// Build constructs a tree over the given items. The items slice is
+// reordered in place during construction. Build is deterministic for a
+// given seed.
+func Build(items []Item, seed int64) *Tree {
+	r := rand.New(rand.NewSource(seed))
+	t := &Tree{size: len(items)}
+	t.root = build(items, r)
+	return t
+}
+
+func build(items []Item, r *rand.Rand) *node {
+	if len(items) == 0 {
+		return nil
+	}
+	// Pick a random vantage point and move it to the front.
+	p := r.Intn(len(items))
+	items[0], items[p] = items[p], items[0]
+	n := &node{item: items[0]}
+	rest := items[1:]
+	if len(rest) == 0 {
+		return n
+	}
+	// Partition around the median distance to the vantage point.
+	dists := make([]float64, len(rest))
+	for i, it := range rest {
+		dists[i] = vec.Distance(n.item.Vec, it.Vec)
+	}
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	n.threshold = dists[order[mid]]
+	insideItems := make([]Item, 0, mid+1)
+	outsideItems := make([]Item, 0, len(rest)-mid)
+	for _, idx := range order {
+		if dists[idx] <= n.threshold && len(insideItems) <= mid {
+			insideItems = append(insideItems, rest[idx])
+		} else {
+			outsideItems = append(outsideItems, rest[idx])
+		}
+	}
+	n.inside = build(insideItems, r)
+	n.outside = build(outsideItems, r)
+	return n
+}
+
+// Len returns the number of items stored.
+func (t *Tree) Len() int { return t.size }
+
+// Nearest returns the item closest to q and its distance. ok is false for
+// an empty tree. The exclude predicate, if non-nil, skips items for which
+// it returns true (used by BAG to avoid matching a cluster with itself).
+func (t *Tree) Nearest(q vec.Vector, exclude func(id int) bool) (best Item, bestDist float64, ok bool) {
+	bestDist = math.Inf(1)
+	var search func(n *node)
+	search = func(n *node) {
+		if n == nil {
+			return
+		}
+		d := vec.Distance(q, n.item.Vec)
+		if d < bestDist && (exclude == nil || !exclude(n.item.ID)) {
+			best, bestDist, ok = n.item, d, true
+		}
+		if d <= n.threshold {
+			search(n.inside)
+			if d+bestDist > n.threshold {
+				search(n.outside)
+			}
+		} else {
+			search(n.outside)
+			if d-bestDist <= n.threshold {
+				search(n.inside)
+			}
+		}
+	}
+	search(t.root)
+	return best, bestDist, ok
+}
+
+// KNearest returns up to k items closest to q, ordered by increasing
+// distance.
+func (t *Tree) KNearest(q vec.Vector, k int) []Item {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		item Item
+		dist float64
+	}
+	var heap []cand // max-heap on dist, at most k entries
+	push := func(c cand) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].dist >= heap[i].dist {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	popMax := func() {
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && heap[l].dist > heap[big].dist {
+				big = l
+			}
+			if r < len(heap) && heap[r].dist > heap[big].dist {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	worst := func() float64 {
+		if len(heap) < k {
+			return math.Inf(1)
+		}
+		return heap[0].dist
+	}
+
+	var search func(n *node)
+	search = func(n *node) {
+		if n == nil {
+			return
+		}
+		d := vec.Distance(q, n.item.Vec)
+		if d < worst() {
+			push(cand{n.item, d})
+			if len(heap) > k {
+				popMax()
+			}
+		}
+		if d <= n.threshold {
+			search(n.inside)
+			if d+worst() > n.threshold {
+				search(n.outside)
+			}
+		} else {
+			search(n.outside)
+			if d-worst() <= n.threshold {
+				search(n.inside)
+			}
+		}
+	}
+	search(t.root)
+
+	out := make([]Item, len(heap))
+	dists := make([]float64, len(heap))
+	for i, c := range heap {
+		out[i], dists[i] = c.item, c.dist
+	}
+	sort.Sort(&byDist{out, dists})
+	return out
+}
+
+type byDist struct {
+	items []Item
+	dists []float64
+}
+
+func (b *byDist) Len() int           { return len(b.items) }
+func (b *byDist) Less(i, j int) bool { return b.dists[i] < b.dists[j] }
+func (b *byDist) Swap(i, j int) {
+	b.items[i], b.items[j] = b.items[j], b.items[i]
+	b.dists[i], b.dists[j] = b.dists[j], b.dists[i]
+}
+
+// InRange returns all items within radius of q (unordered).
+func (t *Tree) InRange(q vec.Vector, radius float64) []Item {
+	var out []Item
+	var search func(n *node)
+	search = func(n *node) {
+		if n == nil {
+			return
+		}
+		d := vec.Distance(q, n.item.Vec)
+		if d <= radius {
+			out = append(out, n.item)
+		}
+		if d-radius <= n.threshold {
+			search(n.inside)
+		}
+		if d+radius > n.threshold {
+			search(n.outside)
+		}
+	}
+	search(t.root)
+	return out
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/descriptor"
+	"repro/internal/vec"
+)
+
+func testColl(n int) *descriptor.Collection {
+	r := rand.New(rand.NewSource(3))
+	c := descriptor.NewCollection(4, n)
+	v := make(vec.Vector, 4)
+	for i := 0; i < n; i++ {
+		for d := range v {
+			v[d] = float32(r.NormFloat64() * 10)
+		}
+		c.Append(descriptor.ID(i), v)
+	}
+	return c
+}
+
+func TestDQComesFromCollection(t *testing.T) {
+	coll := testColl(500)
+	qs, err := DQ(coll, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		found := false
+		for i := 0; i < coll.Len() && !found; i++ {
+			found = vec.Equal(coll.Vec(i), q)
+		}
+		if !found {
+			t.Fatal("DQ query not a collection member")
+		}
+	}
+}
+
+func TestDQWithoutReplacement(t *testing.T) {
+	coll := testColl(100)
+	qs, err := DQ(coll, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		key := fmt.Sprintf("%v", q)
+		if seen[key] {
+			t.Fatal("duplicate DQ query with n <= collection size")
+		}
+		seen[key] = true
+	}
+}
+
+func TestDQMoreThanCollection(t *testing.T) {
+	coll := testColl(10)
+	qs, err := DQ(coll, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 25 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+}
+
+func TestDQErrors(t *testing.T) {
+	if _, err := DQ(descriptor.NewCollection(4, 0), 5, 1); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := DQ(testColl(5), 0, 1); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestTrimmedRanges(t *testing.T) {
+	// 1-dimensional collection with values 0..99: 5% trim leaves [5, 94].
+	c := descriptor.NewCollection(1, 100)
+	for i := 0; i < 100; i++ {
+		c.Append(descriptor.ID(i), vec.Vector{float32(i)})
+	}
+	lo, hi, err := TrimmedRanges(c, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 5 || hi[0] != 94 {
+		t.Fatalf("trimmed range [%v, %v], want [5, 94]", lo[0], hi[0])
+	}
+	// Zero trim keeps the full range.
+	lo, hi, err = TrimmedRanges(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo[0] != 0 || hi[0] != 99 {
+		t.Fatalf("untrimmed range [%v, %v]", lo[0], hi[0])
+	}
+	if _, _, err := TrimmedRanges(c, 0.6); err == nil {
+		t.Error("trim 0.6 accepted")
+	}
+}
+
+func TestSQInsideTrimmedRanges(t *testing.T) {
+	coll := testColl(1000)
+	lo, hi, err := TrimmedRanges(coll, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := SQ(coll, 200, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		for d := range q {
+			if q[d] < lo[d] || q[d] > hi[d] {
+				t.Fatalf("SQ coordinate %v outside [%v, %v]", q[d], lo[d], hi[d])
+			}
+		}
+	}
+}
+
+func TestSQDeterministic(t *testing.T) {
+	coll := testColl(300)
+	a, _ := SQ(coll, 20, 0.05, 9)
+	b, _ := SQ(coll, 20, 0.05, 9)
+	for i := range a {
+		if !vec.Equal(a[i], b[i]) {
+			t.Fatal("SQ not deterministic")
+		}
+	}
+	c, _ := SQ(coll, 20, 0.05, 10)
+	same := true
+	for i := range a {
+		same = same && vec.Equal(a[i], c[i])
+	}
+	if same {
+		t.Fatal("different seeds gave identical SQ workloads")
+	}
+}
+
+// SQ queries simulate "no match in the collection": their nearest
+// neighbor must typically be much farther than a DQ query's.
+func TestSQFartherThanDQ(t *testing.T) {
+	coll := testColl(2000)
+	dq, _ := DQ(coll, 30, 1)
+	sq, _ := SQ(coll, 30, 0.05, 1)
+	nearest := func(q vec.Vector) float64 {
+		best := -1.0
+		for i := 0; i < coll.Len(); i++ {
+			d := vec.Distance(q, coll.Vec(i))
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var dqSum, sqSum float64
+	for i := range dq {
+		dqSum += nearest(dq[i])
+		sqSum += nearest(sq[i])
+	}
+	if sqSum <= dqSum {
+		t.Fatalf("SQ mean NN distance %.2f not above DQ %.2f", sqSum/30, dqSum/30)
+	}
+}

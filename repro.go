@@ -1,0 +1,326 @@
+// Package repro is a Go reproduction of "The Quality vs. Time Trade-off
+// for Approximate Image Descriptor Search" (Sigurðardóttir, Hauksson,
+// Jónsson, Amsaleg; ICDE Workshops 2005).
+//
+// It provides the paper's complete system: 24-dimensional local image
+// descriptor collections, four chunk-forming strategies (the paper's BAG
+// clustering and SR-tree bulk-load, plus the round-robin strawman and the
+// uniform-size-first hybrid the conclusion proposes), the two-file chunk
+// index architecture, and the ranked approximate search algorithm with
+// the paper's three stop rules.
+//
+// Quick start:
+//
+//	coll := repro.GenerateCollection(100000, 42)
+//	idx, _ := repro.Build(coll, repro.BuildConfig{Strategy: repro.StrategySRTree, ChunkSize: 1000})
+//	res, _ := idx.Search(coll.Vec(17), repro.SearchOptions{K: 30, MaxChunks: 5})
+//	for _, nb := range res.Neighbors { fmt.Println(nb.ID, nb.Dist) }
+//
+// The internal packages hold the substrates (see DESIGN.md); this package
+// is the stable surface.
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bag"
+	"repro/internal/chunkfile"
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/hybrid"
+	"repro/internal/imagegen"
+	"repro/internal/knn"
+	"repro/internal/multiquery"
+	"repro/internal/roundrobin"
+	"repro/internal/scan"
+	"repro/internal/search"
+	"repro/internal/simdisk"
+	"repro/internal/srtree"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The facade keeps the internal packages free to
+// evolve while examples and downstream users import only "repro".
+type (
+	// Collection is an in-memory descriptor collection.
+	Collection = descriptor.Collection
+	// Vector is a point in descriptor space.
+	Vector = vec.Vector
+	// Neighbor is one search result entry.
+	Neighbor = knn.Neighbor
+	// ID identifies a descriptor.
+	ID = descriptor.ID
+	// CostModel is the simulated 2005 disk/CPU model used for timing.
+	CostModel = simdisk.Model
+)
+
+// Dims is the descriptor dimensionality used throughout the paper.
+const Dims = vec.Dims
+
+// GenerateCollection synthesizes a collection of roughly n local image
+// descriptors with the statistical properties the paper's evaluation
+// depends on (Zipf-skewed density, halo noise, scattered outliers).
+func GenerateCollection(n int, seed int64) *Collection {
+	return imagegen.MustGenerate(imagegen.DefaultConfig(n, seed)).Collection
+}
+
+// LoadCollection reads a collection file written by SaveCollection.
+func LoadCollection(path string) (*Collection, error) { return descriptor.LoadFile(path) }
+
+// SaveCollection writes the collection to path.
+func SaveCollection(c *Collection, path string) error { return c.SaveFile(path) }
+
+// DatasetQueries returns n DQ-workload queries (§5.3).
+func DatasetQueries(c *Collection, n int, seed int64) ([]Vector, error) {
+	return workload.DQ(c, n, seed)
+}
+
+// SpaceQueries returns n SQ-workload queries with 5% trimmed ranges (§5.3).
+func SpaceQueries(c *Collection, n int, seed int64) ([]Vector, error) {
+	return workload.SQ(c, n, 0.05, seed)
+}
+
+// Strategy selects a chunk-forming algorithm.
+type Strategy string
+
+// The four chunk-forming strategies.
+const (
+	// StrategyBAG is the paper's quality-first clustering (§3). It also
+	// removes outliers; see Index.Outliers.
+	StrategyBAG Strategy = "bag"
+	// StrategySRTree is the paper's time-first uniform chunking (§2).
+	StrategySRTree Strategy = "srtree"
+	// StrategyRoundRobin is the §1.1 strawman.
+	StrategyRoundRobin Strategy = "roundrobin"
+	// StrategyHybrid is the §7 future-work strategy: uniform size first,
+	// intra-chunk similarity best-effort.
+	StrategyHybrid Strategy = "hybrid"
+)
+
+// BuildConfig controls index construction.
+type BuildConfig struct {
+	Strategy  Strategy
+	ChunkSize int // target (SR/RR/hybrid: exact; BAG: mean) descriptors per chunk
+	PageSize  int // chunk file page size; 0 means 8 KiB
+	Seed      int64
+	// MPI overrides BAG's Maximum Possible Increment (0 = default).
+	MPI float64
+	// MaxPasses bounds BAG's convergence loop (0 = default).
+	MaxPasses int
+	// Progress receives BAG pass updates when non-nil.
+	Progress func(pass, clusters int)
+}
+
+// Index is a searchable chunk index plus its build provenance.
+type Index struct {
+	store    chunkfile.Store
+	searcher *search.Searcher
+
+	coll     *Collection        // nil for file-opened indexes
+	clusters []*cluster.Cluster // nil for file-opened indexes
+
+	// Outliers holds the collection positions BAG discarded (empty for
+	// the other strategies and for file-opened indexes).
+	Outliers []int
+}
+
+// Build forms chunks from the collection with the selected strategy and
+// returns an in-memory index over them.
+func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
+	if cfg.ChunkSize < 1 {
+		return nil, fmt.Errorf("repro: ChunkSize %d < 1", cfg.ChunkSize)
+	}
+	var clusters []*cluster.Cluster
+	var outliers []int
+	switch cfg.Strategy {
+	case StrategyBAG:
+		bcfg := bag.DefaultConfig(coll.Len(), cfg.ChunkSize)
+		if cfg.MPI > 0 {
+			bcfg.MPI = cfg.MPI
+		}
+		if cfg.MaxPasses > 0 {
+			bcfg.MaxPasses = cfg.MaxPasses
+		}
+		bcfg.Seed = cfg.Seed
+		bcfg.Progress = cfg.Progress
+		snaps, err := bag.Run(coll, bcfg)
+		if err != nil {
+			return nil, err
+		}
+		snap := snaps[len(snaps)-1]
+		clusters = snap.Clusters
+		outliers = snap.Outliers
+	case StrategySRTree, "":
+		tree, err := srtree.Build(coll, nil, cfg.ChunkSize, 0)
+		if err != nil {
+			return nil, err
+		}
+		clusters = tree.Chunks()
+	case StrategyRoundRobin:
+		var err error
+		clusters, err = roundrobin.Chunks(coll, nil, cfg.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+	case StrategyHybrid:
+		var err error
+		clusters, err = hybrid.Chunks(coll, nil, hybrid.Config{ChunkSize: cfg.ChunkSize, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown strategy %q", cfg.Strategy)
+	}
+	store := chunkfile.NewMemStore(coll, clusters, cfg.PageSize)
+	return &Index{
+		store:    store,
+		searcher: search.New(store, nil),
+		coll:     coll,
+		clusters: clusters,
+		Outliers: outliers,
+	}, nil
+}
+
+// Save writes the index's two files (§4.2: chunk file + index file).
+// Only indexes produced by Build can be saved.
+func (ix *Index) Save(chunkPath, indexPath string) error {
+	if ix.coll == nil || ix.clusters == nil {
+		return fmt.Errorf("repro: index was not built in this process; nothing to save")
+	}
+	return chunkfile.Write(ix.coll, ix.clusters, chunkPath, indexPath, chunkfile.DefaultPageSize)
+}
+
+// Open maps an index previously written by Save.
+func Open(chunkPath, indexPath string) (*Index, error) {
+	st, err := chunkfile.Open(chunkPath, indexPath)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{store: st, searcher: search.New(st, nil)}, nil
+}
+
+// Close releases the index's resources.
+func (ix *Index) Close() error { return ix.store.Close() }
+
+// Chunks returns the number of chunks in the index.
+func (ix *Index) Chunks() int { return len(ix.store.Meta()) }
+
+// Len returns the number of descriptors reachable through the index.
+func (ix *Index) Len() int {
+	n := 0
+	for _, m := range ix.store.Meta() {
+		n += m.Count
+	}
+	return n
+}
+
+// SearchOptions selects the k and the stop rule (§4.3). Zero values mean
+// k=30 and run-to-completion; MaxChunks and MaxTime, when positive, choose
+// the approximate stop rules.
+type SearchOptions struct {
+	K         int
+	MaxChunks int           // stop after this many chunks
+	MaxTime   time.Duration // stop after this much simulated time
+	Overlap   bool          // overlap I/O and CPU in the simulated pipeline
+	Model     *CostModel    // nil = calibrated 2005 model
+}
+
+// Result is a search outcome.
+type Result struct {
+	Neighbors  []Neighbor
+	ChunksRead int
+	// Simulated is the elapsed time under the 2005 cost model; Wall is
+	// the real time this call took.
+	Simulated time.Duration
+	Wall      time.Duration
+	// Exact reports whether the result is provably the true k-NN of the
+	// indexed descriptors.
+	Exact bool
+}
+
+// Search runs one query against the index.
+func (ix *Index) Search(q Vector, opts SearchOptions) (*Result, error) {
+	var stop search.StopRule = search.ToCompletion{}
+	if opts.MaxChunks > 0 {
+		stop = search.ChunkBudget(opts.MaxChunks)
+	} else if opts.MaxTime > 0 {
+		stop = search.TimeBudget(opts.MaxTime)
+	}
+	res, err := ix.searcher.Search(q, search.Options{
+		K:       opts.K,
+		Stop:    stop,
+		Overlap: opts.Overlap,
+		Model:   opts.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Neighbors:  res.Neighbors,
+		ChunksRead: res.ChunksRead,
+		Simulated:  res.Elapsed,
+		Wall:       res.Wall,
+		Exact:      res.Exact,
+	}, nil
+}
+
+// MultiSearchOptions controls a multi-descriptor (whole-image) query.
+type MultiSearchOptions struct {
+	// K is the per-descriptor neighbor count (0 = 10).
+	K int
+	// MaxChunks is the per-descriptor chunk budget (0 = 3).
+	MaxChunks int
+	// RankWeighted weights votes by 1/(1+rank).
+	RankWeighted bool
+	// Overlap selects the overlapped pipeline in the simulated timing.
+	Overlap bool
+}
+
+// ImageMatch is one ranked image of a multi-descriptor search.
+type ImageMatch = multiquery.ImageScore
+
+// MultiResult is the outcome of a multi-descriptor search.
+type MultiResult = multiquery.Result
+
+// MultiSearch implements the paper's §7 follow-up: query with a whole
+// image's bag of local descriptors, aggregate per-descriptor approximate
+// searches into image votes, and return the ranked source images.
+func (ix *Index) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
+	maxChunks := opts.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 3
+	}
+	return multiquery.New(ix.store).Query(descriptors, multiquery.Options{
+		K:            opts.K,
+		Stop:         search.ChunkBudget(maxChunks),
+		RankWeighted: opts.RankWeighted,
+		Overlap:      opts.Overlap,
+	})
+}
+
+// Exact returns the true k nearest neighbors of q by sequential scan —
+// the paper's ground-truth oracle (§5.4).
+func Exact(coll *Collection, q Vector, k int) []Neighbor {
+	return scan.KNN(coll, q, k)
+}
+
+// Precision returns |approx ∩ truth| / k for two neighbor lists, the
+// paper's quality metric.
+func Precision(approx, truth []Neighbor) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[ID]struct{}, len(truth))
+	for _, n := range truth {
+		set[n.ID] = struct{}{}
+	}
+	hit := 0
+	for _, n := range approx {
+		if _, ok := set[n.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

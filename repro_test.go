@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testCollection(t testing.TB) *Collection {
+	t.Helper()
+	return GenerateCollection(5000, 7)
+}
+
+func TestBuildAllStrategies(t *testing.T) {
+	coll := testCollection(t)
+	for _, s := range []Strategy{StrategySRTree, StrategyRoundRobin, StrategyHybrid} {
+		idx, err := Build(coll, BuildConfig{Strategy: s, ChunkSize: 200, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if idx.Len() != coll.Len() {
+			t.Fatalf("%s: index covers %d of %d", s, idx.Len(), coll.Len())
+		}
+		if idx.Chunks() < 2 {
+			t.Fatalf("%s: only %d chunks", s, idx.Chunks())
+		}
+	}
+}
+
+func TestBuildBAGRemovesOutliers(t *testing.T) {
+	coll := testCollection(t)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategyBAG, ChunkSize: 150, Seed: 1, MaxPasses: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Outliers) == 0 {
+		t.Fatal("BAG discarded no outliers on skewed synthetic data")
+	}
+	if idx.Len()+len(idx.Outliers) != coll.Len() {
+		t.Fatalf("retained %d + outliers %d != %d", idx.Len(), len(idx.Outliers), coll.Len())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	coll := testCollection(t)
+	if _, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 0}); err == nil {
+		t.Fatal("ChunkSize 0 accepted")
+	}
+	if _, err := Build(coll, BuildConfig{Strategy: "nope", ChunkSize: 10}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestSearchApproxAndExact(t *testing.T) {
+	coll := testCollection(t)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.Vec(99)
+
+	exact, err := idx.Search(q, SearchOptions{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Exact {
+		t.Fatal("completion search not exact")
+	}
+	truth := Exact(coll, q, 20)
+	if p := Precision(exact.Neighbors, truth); p != 1 {
+		t.Fatalf("completion precision = %v", p)
+	}
+
+	approx, err := idx.Search(q, SearchOptions{K: 20, MaxChunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.ChunksRead != 3 {
+		t.Fatalf("ChunksRead = %d", approx.ChunksRead)
+	}
+	if approx.Simulated >= exact.Simulated {
+		t.Fatal("approximate search not faster than completion")
+	}
+	if p := Precision(approx.Neighbors, truth); p <= 0 {
+		t.Fatalf("approximate precision = %v", p)
+	}
+}
+
+func TestSearchTimeBudget(t *testing.T) {
+	coll := testCollection(t)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(coll.Vec(5), SearchOptions{K: 10, MaxTime: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := idx.Search(coll.Vec(5), SearchOptions{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksRead >= full.ChunksRead {
+		t.Fatalf("time budget read %d chunks, full %d", res.ChunksRead, full.ChunksRead)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	coll := testCollection(t)
+	built, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "x.chunk"), filepath.Join(dir, "x.idx")
+	if err := built.Save(cp, ip); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.Len() != built.Len() || opened.Chunks() != built.Chunks() {
+		t.Fatalf("opened %d/%d vs built %d/%d", opened.Len(), opened.Chunks(), built.Len(), built.Chunks())
+	}
+	q := coll.Vec(42)
+	a, err := built.Search(q, SearchOptions{K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opened.Search(q, SearchOptions{K: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Neighbors {
+		if math.Abs(a.Neighbors[i].Dist-b.Neighbors[i].Dist) > 1e-9 {
+			t.Fatalf("result %d differs between built and opened index", i)
+		}
+	}
+	if err := opened.Save(cp, ip); err == nil {
+		t.Fatal("saving a file-opened index should fail")
+	}
+}
+
+func TestCollectionFileRoundTrip(t *testing.T) {
+	coll := testCollection(t)
+	path := filepath.Join(t.TempDir(), "c.desc")
+	if err := SaveCollection(coll, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCollection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != coll.Len() {
+		t.Fatalf("loaded %d, want %d", got.Len(), coll.Len())
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	coll := testCollection(t)
+	dq, err := DatasetQueries(coll, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := SpaceQueries(coll, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dq) != 5 || len(sq) != 5 {
+		t.Fatalf("workload sizes %d/%d", len(dq), len(sq))
+	}
+}
+
+func TestPrecisionEdges(t *testing.T) {
+	if Precision(nil, nil) != 0 {
+		t.Fatal("empty truth should be 0")
+	}
+	ns := []Neighbor{{ID: 1}, {ID: 2}}
+	if Precision(ns, ns) != 1 {
+		t.Fatal("identical lists should be 1")
+	}
+}
