@@ -18,6 +18,10 @@ type BatchOptions struct {
 // Queries execute concurrently; each Result carries its own simulated
 // time (the simulation models one 2005 machine per query, so simulated
 // times are per-query, not wall-aggregated).
+//
+// The batch fails fast: as soon as any worker hits an error, no further
+// queries are dispatched, in-flight queries finish, and the first error
+// (by query order among those attempted) is returned.
 func (ix *Index) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -34,17 +38,27 @@ func (ix *Index) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, er
 	errs := make([]error, len(queries))
 	var wg sync.WaitGroup
 	next := make(chan int)
+	failed := make(chan struct{})
+	var failOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for qi := range next {
 				results[qi], errs[qi] = ix.Search(queries[qi], opts.SearchOptions)
+				if errs[qi] != nil {
+					failOnce.Do(func() { close(failed) })
+				}
 			}
 		}()
 	}
+dispatch:
 	for qi := range queries {
-		next <- qi
+		select {
+		case next <- qi:
+		case <-failed:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

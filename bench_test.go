@@ -221,6 +221,29 @@ func BenchmarkSingleQueryCompletion(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleQuerySteadyState measures the zero-allocation serving
+// path: one exact search per iteration through SearchInto with a recycled
+// Result. After warm-up this must report 0 allocs/op.
+func BenchmarkSingleQuerySteadyState(b *testing.B) {
+	lab := getBenchLab(b)
+	idx, err := Build(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := lab.Coll.Vec(17)
+	var res Result
+	if err := idx.SearchInto(q, SearchOptions{K: 30}, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.SearchInto(q, SearchOptions{K: 30}, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSingleQueryBudget5 measures one 5-chunk approximate search.
 func BenchmarkSingleQueryBudget5(b *testing.B) {
 	lab := getBenchLab(b)

@@ -1,0 +1,150 @@
+// Command benchsnap measures the library's hot query paths on the current
+// machine and writes a JSON perf snapshot (BENCH_<seq>.json). Snapshots
+// committed over time form the performance trajectory of the repository:
+// each entry records ns/op and allocs/op for the single-query exact
+// search, the zero-allocation steady-state path, a 5-chunk approximate
+// search, and whole-workload batch throughput.
+//
+// Usage:
+//
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-out BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+type measurement struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+type snapshot struct {
+	Schema      int                    `json:"schema"`
+	CreatedUnix int64                  `json:"created_unix"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	N           int                    `json:"collection_size"`
+	ChunkSize   int                    `json:"chunk_size"`
+	K           int                    `json:"k"`
+	Seed        int64                  `json:"seed"`
+	Benchmarks  map[string]measurement `json:"benchmarks"`
+}
+
+func toMeasurement(r testing.BenchmarkResult) measurement {
+	return measurement{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+		OpsPerSec:   1e9 / float64(r.NsPerOp()),
+	}
+}
+
+func main() {
+	n := flag.Int("n", 12000, "collection size")
+	chunk := flag.Int("chunk", 300, "chunk size")
+	k := flag.Int("k", 30, "neighbors per query")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "BENCH_1.json", "output path")
+	flag.Parse()
+
+	coll := repro.GenerateCollection(*n, *seed)
+	idx, err := repro.Build(coll, repro.BuildConfig{Strategy: repro.StrategySRTree, ChunkSize: *chunk})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: build:", err)
+		os.Exit(1)
+	}
+	defer idx.Close()
+	q := coll.Vec(17)
+	queries, err := repro.DatasetQueries(coll, 200, *seed+1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: queries:", err)
+		os.Exit(1)
+	}
+
+	snap := snapshot{
+		Schema:      1,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		N:           *n,
+		ChunkSize:   *chunk,
+		K:           *k,
+		Seed:        *seed,
+		Benchmarks:  map[string]measurement{},
+	}
+
+	snap.Benchmarks["single_query_completion"] = toMeasurement(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.Search(q, repro.SearchOptions{K: *k}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	snap.Benchmarks["single_query_steady_state"] = toMeasurement(testing.Benchmark(func(b *testing.B) {
+		var res repro.Result
+		if err := idx.SearchInto(q, repro.SearchOptions{K: *k}, &res); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := idx.SearchInto(q, repro.SearchOptions{K: *k}, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	snap.Benchmarks["single_query_budget5"] = toMeasurement(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.Search(q, repro.SearchOptions{K: *k, MaxChunks: 5}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	workload := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.SearchBatch(queries, repro.BatchOptions{
+				SearchOptions: repro.SearchOptions{K: *k, MaxChunks: 5},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := toMeasurement(workload)
+	m.OpsPerSec *= float64(len(queries)) // per query, not per batch
+	snap.Benchmarks["batch_budget5_200q"] = m
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for name, m := range snap.Benchmarks {
+		fmt.Printf("  %-28s %10d ns/op  %6.0f ops/s  %3d allocs/op\n",
+			name, m.NsPerOp, m.OpsPerSec, m.AllocsPerOp)
+	}
+}

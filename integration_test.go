@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -116,6 +117,29 @@ func TestSearchBatchEdges(t *testing.T) {
 	res, err = idx.SearchBatch(queries, BatchOptions{Parallelism: 16})
 	if err != nil || len(res) != 2 {
 		t.Fatalf("tiny batch: %v %v", res, err)
+	}
+}
+
+// TestSearchBatchFailFast verifies a bad query fails the whole batch and
+// the error identifies the query; the dispatcher stops handing out work
+// once a worker reports a failure.
+func TestSearchBatchFailFast(t *testing.T) {
+	coll := GenerateCollection(2000, 6)
+	idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := DatasetQueries(coll, 50, 1)
+	queries := make([]Vector, 0, len(good)+1)
+	queries = append(queries, make(Vector, Dims+1)) // wrong dims: fails
+	queries = append(queries, good...)
+
+	res, err := idx.SearchBatch(queries, BatchOptions{Parallelism: 1})
+	if err == nil || res != nil {
+		t.Fatalf("bad query did not fail the batch: res=%v err=%v", res, err)
+	}
+	if !strings.Contains(err.Error(), "batch query 0") {
+		t.Fatalf("error does not identify the failing query: %v", err)
 	}
 }
 

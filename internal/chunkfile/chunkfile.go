@@ -43,11 +43,19 @@ type Meta struct {
 // dimensionality: centroid + radius + offset + bytes + count.
 func EntrySize(dims int) int { return dims*4 + 8 + 8 + 4 + 4 }
 
-// Data is the decoded payload of one chunk.
+// Data is the decoded payload of one chunk. Callers must treat IDs and
+// Vecs as read-only: depending on the Store they may alias store-owned
+// memory (MemStore) or buffers reused by the next ReadChunk (FileStore).
 type Data struct {
 	IDs  []descriptor.ID
 	Vecs []float32 // flattened, Count × dims
 	dims int
+	buf  []byte // FileStore read scratch, reused across ReadChunk calls
+	// owned reports whether IDs/Vecs are Data-owned scratch that decode
+	// may overwrite; false after a MemStore read leaves them aliasing
+	// store memory, forcing the next decode to allocate fresh buffers
+	// instead of corrupting the store.
+	owned bool
 }
 
 // Len returns the number of descriptors in the chunk.
@@ -293,13 +301,17 @@ func (s *FileStore) Meta() []Meta { return s.metas }
 
 // ReadChunk implements Store. It issues exactly one positioned read of the
 // chunk's padded extent, mirroring the paper's one-chunk-one-read access
-// pattern.
+// pattern. The read buffer is kept in data and reused by later calls, so
+// steady-state reads do not allocate.
 func (s *FileStore) ReadChunk(i int, data *Data) error {
 	if i < 0 || i >= len(s.metas) {
 		return ErrChunkOOB
 	}
 	m := s.metas[i]
-	buf := make([]byte, m.Bytes)
+	if cap(data.buf) < m.Bytes {
+		data.buf = make([]byte, m.Bytes)
+	}
+	buf := data.buf[:m.Bytes]
 	if _, err := s.f.ReadAt(buf, m.Offset); err != nil {
 		return fmt.Errorf("chunkfile: chunk %d: %w", i, err)
 	}
@@ -312,18 +324,16 @@ func (s *FileStore) Close() error { return s.f.Close() }
 
 func decode(buf []byte, count, dims int, data *Data) {
 	data.dims = dims
-	data.IDs = data.IDs[:0]
-	data.Vecs = data.Vecs[:0]
-	rec := 4 + dims*4
-	for k := 0; k < count; k++ {
-		o := k * rec
-		data.IDs = append(data.IDs, descriptor.ID(binary.LittleEndian.Uint32(buf[o:o+4])))
-		o += 4
-		for d := 0; d < dims; d++ {
-			data.Vecs = append(data.Vecs, math.Float32frombits(binary.LittleEndian.Uint32(buf[o:o+4])))
-			o += 4
-		}
+	if !data.owned || cap(data.IDs) < count {
+		data.IDs = make([]descriptor.ID, count)
 	}
+	data.IDs = data.IDs[:count]
+	if !data.owned || cap(data.Vecs) < count*dims {
+		data.Vecs = make([]float32, count*dims)
+	}
+	data.Vecs = data.Vecs[:count*dims]
+	data.owned = true
+	descriptor.DecodeRecords(buf, count, dims, data.IDs, data.Vecs)
 }
 
 // MemStore is an in-memory Store with the same padded-size accounting as
@@ -376,14 +386,17 @@ func (s *MemStore) Dims() int { return s.dims }
 // Meta implements Store.
 func (s *MemStore) Meta() []Meta { return s.metas }
 
-// ReadChunk implements Store.
+// ReadChunk implements Store. The returned slices alias the store's own
+// memory (no copy): Data is read-only by contract, and skipping the copy
+// keeps the in-memory hot path at zero bytes moved per chunk.
 func (s *MemStore) ReadChunk(i int, data *Data) error {
 	if i < 0 || i >= len(s.metas) {
 		return ErrChunkOOB
 	}
 	data.dims = s.dims
-	data.IDs = append(data.IDs[:0], s.ids[i]...)
-	data.Vecs = append(data.Vecs[:0], s.vecs[i]...)
+	data.IDs = s.ids[i]
+	data.Vecs = s.vecs[i]
+	data.owned = false
 	return nil
 }
 

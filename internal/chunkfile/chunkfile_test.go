@@ -194,6 +194,52 @@ func TestDataBufferReuse(t *testing.T) {
 	}
 }
 
+// TestCrossStoreDataReuse pins the ownership guard: after a MemStore read
+// leaves Data aliasing store memory, a FileStore decode into the same
+// Data must allocate fresh buffers instead of overwriting — and thereby
+// corrupting — the MemStore's arrays.
+func TestCrossStoreDataReuse(t *testing.T) {
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	if err := Write(coll, cs, cp, ip, 4096); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore(coll, cs, 4096)
+
+	var data Data
+	if err := ms.ReadChunk(0, &data); err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := append([]descriptor.ID(nil), data.IDs...)
+	wantVecs := append([]float32(nil), data.Vecs...)
+
+	// Decode a *different* chunk of the file store into the same Data.
+	if err := fs.ReadChunk(1, &data); err != nil {
+		t.Fatal(err)
+	}
+
+	var again Data
+	if err := ms.ReadChunk(0, &again); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantIDs {
+		if again.IDs[i] != wantIDs[i] {
+			t.Fatalf("memstore IDs corrupted at %d: %d != %d", i, again.IDs[i], wantIDs[i])
+		}
+	}
+	for i := range wantVecs {
+		if again.Vecs[i] != wantVecs[i] {
+			t.Fatalf("memstore Vecs corrupted at %d", i)
+		}
+	}
+}
+
 func TestEntrySize(t *testing.T) {
 	if EntrySize(24) != 24*4+24 {
 		t.Fatalf("EntrySize(24) = %d", EntrySize(24))

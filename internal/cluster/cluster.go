@@ -81,15 +81,16 @@ func (c *Cluster) recomputeCentroid() {
 }
 
 // RecomputeRadius re-measures the minimum bounding radius against the
-// actual member vectors.
+// actual member vectors. The maximum is taken over squared distances;
+// sqrt is applied once at the end.
 func (c *Cluster) RecomputeRadius(coll *descriptor.Collection) {
-	var max float64
+	var max2 float64
 	for _, i := range c.Members {
-		if d := vec.Distance(c.Centroid, coll.Vec(i)); d > max {
-			max = d
+		if d2 := vec.SquaredDistance(c.Centroid, coll.Vec(i)); d2 > max2 {
+			max2 = d2
 		}
 	}
-	c.Radius = max
+	c.Radius = math.Sqrt(max2)
 }
 
 // MergedRadius returns the exact minimum bounding radius the union of a
@@ -103,18 +104,18 @@ func MergedRadius(coll *descriptor.Collection, a, b *Cluster) float64 {
 	for d := 0; d < dims; d++ {
 		merged[d] = float32((a.linear[d] + b.linear[d]) * inv)
 	}
-	var max float64
+	var max2 float64
 	for _, i := range a.Members {
-		if dd := vec.Distance(merged, coll.Vec(i)); dd > max {
-			max = dd
+		if d2 := vec.SquaredDistance(merged, coll.Vec(i)); d2 > max2 {
+			max2 = d2
 		}
 	}
 	for _, i := range b.Members {
-		if dd := vec.Distance(merged, coll.Vec(i)); dd > max {
-			max = dd
+		if d2 := vec.SquaredDistance(merged, coll.Vec(i)); d2 > max2 {
+			max2 = d2
 		}
 	}
-	return max
+	return math.Sqrt(max2)
 }
 
 // Merge absorbs o into c, updating centroid, members and exact radius.

@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"slices"
 
 	"repro/internal/vec"
 )
@@ -97,6 +99,12 @@ func (c *Collection) Vec(i int) vec.Vector {
 // IDAt returns the i-th descriptor id.
 func (c *Collection) IDAt(i int) ID { return c.ids[i] }
 
+// Backing returns the contiguous flattened vector storage (Len() × Dims()
+// float32s, row i at [i*Dims() : (i+1)*Dims()]). It aliases the
+// collection's memory and must be treated as read-only; batch distance
+// kernels (vec.SquaredDistancesTo) consume it directly.
+func (c *Collection) Backing() []float32 { return c.backing }
+
 // Subset returns a new collection holding the descriptors at the given
 // indexes (vectors copied).
 func (c *Collection) Subset(idx []int) *Collection {
@@ -145,7 +153,18 @@ func (c *Collection) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a collection previously produced by Write.
+// maxPreallocBytes caps how much memory Read pre-allocates from the
+// header count alone: a corrupt header cannot force a giant allocation
+// regardless of the dims/count combination it claims. Larger (honest)
+// collections grow geometrically as their blocks arrive, bounded by the
+// bytes actually read.
+const maxPreallocBytes = 64 << 20
+
+// Read parses a collection previously produced by Write. The collection
+// is pre-sized from the header count and records are decoded in bulk
+// blocks directly into the backing array — no per-record copies. A
+// header count the input cannot back is reported as ErrTruncated, never
+// a panic or an unbounded allocation.
 func Read(r io.Reader) (*Collection, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, headerSize)
@@ -156,19 +175,40 @@ func Read(r io.Reader) (*Collection, error) {
 		return nil, ErrBadMagic
 	}
 	dims := int(binary.LittleEndian.Uint32(head[8:12]))
-	count := int(binary.LittleEndian.Uint64(head[12:20]))
+	count64 := binary.LittleEndian.Uint64(head[12:20])
 	if dims <= 0 || dims > 4096 {
 		return nil, fmt.Errorf("descriptor: implausible dims %d", dims)
 	}
-	c := NewCollection(dims, count)
-	rec := make([]byte, 4+dims*4)
-	v := make(vec.Vector, dims)
-	for i := 0; i < count; i++ {
-		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrTruncated, i, err)
+	rec := 4 + dims*4
+	if count64 > uint64(math.MaxInt-headerSize)/uint64(rec) {
+		return nil, fmt.Errorf("descriptor: implausible record count %d", count64)
+	}
+	count := int(count64)
+	pre := count
+	if maxPre := maxPreallocBytes / rec; pre > maxPre {
+		pre = maxPre
+	}
+	c := NewCollection(dims, pre)
+	blockRecs := (1 << 20) / rec
+	if blockRecs < 1 {
+		blockRecs = 1
+	}
+	if blockRecs > count && count > 0 {
+		blockRecs = count
+	}
+	buf := make([]byte, blockRecs*rec)
+	for filled := 0; filled < count; {
+		n := blockRecs
+		if rem := count - filled; n > rem {
+			n = rem
 		}
-		id := decodeRecord(rec, v)
-		c.Append(id, v)
+		if _, err := io.ReadFull(br, buf[:n*rec]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrTruncated, filled, err)
+		}
+		c.ids = slices.Grow(c.ids, n)[:filled+n]
+		c.backing = slices.Grow(c.backing, n*dims)[:(filled+n)*dims]
+		DecodeRecords(buf, n, dims, c.ids[filled:], c.backing[filled*dims:])
+		filled += n
 	}
 	return c, nil
 }
@@ -204,11 +244,21 @@ func encodeRecord(rec []byte, id ID, v vec.Vector) {
 	}
 }
 
-// decodeRecord parses rec into v and returns the id.
-func decodeRecord(rec []byte, v vec.Vector) ID {
-	id := ID(binary.LittleEndian.Uint32(rec[0:4]))
-	for i := range v {
-		v[i] = bitsFloat(binary.LittleEndian.Uint32(rec[4+i*4 : 8+i*4]))
+// DecodeRecords bulk-decodes n fixed-size records (uint32 id followed by
+// dims little-endian float32 coordinates each) from buf into ids[:n] and
+// vecs[:n*dims]. This is the one home of the on-disk record layout shared
+// by the collection file and the chunk file codecs.
+func DecodeRecords(buf []byte, n, dims int, ids []ID, vecs []float32) {
+	rec := 4 + dims*4
+	for k := 0; k < n; k++ {
+		o := k * rec
+		ids[k] = ID(binary.LittleEndian.Uint32(buf[o : o+4]))
+		o += 4
+		base := k * dims
+		for d := 0; d < dims; d++ {
+			vecs[base+d] = bitsFloat(binary.LittleEndian.Uint32(buf[o : o+4]))
+			o += 4
+		}
 	}
-	return id
 }
+

@@ -2,6 +2,7 @@ package descriptor
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"path/filepath"
 	"testing"
@@ -124,6 +125,28 @@ func TestReadTruncated(t *testing.T) {
 	raw := buf.Bytes()[:buf.Len()-37]
 	if _, err := Read(bytes.NewReader(raw)); err == nil {
 		t.Fatal("expected truncation error")
+	}
+}
+
+// TestReadHostileHeaderCount pins the pre-sizing guard: a header whose
+// record count the input cannot back must produce an error — never a
+// panic or a count-sized allocation.
+func TestReadHostileHeaderCount(t *testing.T) {
+	for _, hostile := range []struct{ dims, count uint64 }{
+		{24, 1 << 62},   // count*rec overflows int
+		{24, 1 << 40},   // huge but non-overflowing count
+		{4096, 1 << 22}, // max dims × large count: byte cap must hold
+		{24, 1000},      // plausible count the payload cannot back
+	} {
+		head := make([]byte, headerSize)
+		copy(head, fileMagic)
+		binary.LittleEndian.PutUint32(head[8:12], uint32(hostile.dims))
+		binary.LittleEndian.PutUint64(head[12:20], hostile.count)
+		// A handful of record bytes — far fewer than count claims.
+		payload := append(head, make([]byte, 3*100)...)
+		if _, err := Read(bytes.NewReader(payload)); err == nil {
+			t.Fatalf("dims %d count %d: expected error, got none", hostile.dims, hostile.count)
+		}
 	}
 }
 

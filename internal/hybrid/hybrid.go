@@ -122,7 +122,7 @@ func assignBalanced(coll *descriptor.Collection, indexes []int, centroids []vec.
 		v := coll.Vec(idx)
 		best := math.Inf(1)
 		for _, c := range centroids {
-			if d := vec.SquaredDistance(v, c); d < best {
+			if d := vec.PartialSquaredDistance(v, c, best); d < best {
 				best = d
 			}
 		}
@@ -138,7 +138,7 @@ func assignBalanced(coll *descriptor.Collection, indexes []int, centroids []vec.
 			if load[c] >= capacity {
 				continue
 			}
-			if d := vec.SquaredDistance(v, centroids[c]); d < bestD {
+			if d := vec.PartialSquaredDistance(v, centroids[c], bestD); d < bestD {
 				bestC, bestD = c, d
 			}
 		}

@@ -14,22 +14,27 @@ func TestHeapKeepsBestK(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		h := NewHeap(10)
-		dists := make([]float64, 100)
-		for i := range dists {
-			dists[i] = r.Float64() * 100
-			h.Offer(descriptor.ID(i), dists[i])
+		d2s := make([]float64, 100)
+		for i := range d2s {
+			d2s[i] = r.Float64() * 100
+			h.OfferSquared(descriptor.ID(i), d2s[i])
 		}
-		sort.Float64s(dists)
+		sort.Float64s(d2s)
+		// Bounds are read before Sorted: sorting hands the storage to the
+		// reporting boundary and invalidates the heap order.
+		if h.Kth2() != d2s[9] || h.Kth() != math.Sqrt(d2s[9]) {
+			return false
+		}
 		got := h.Sorted()
 		if len(got) != 10 {
 			return false
 		}
 		for i := range got {
-			if math.Abs(got[i].Dist-dists[i]) > 1e-12 {
+			if got[i].Dist != math.Sqrt(d2s[i]) {
 				return false
 			}
 		}
-		return h.Kth() == dists[9]
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -38,13 +43,13 @@ func TestHeapKeepsBestK(t *testing.T) {
 
 func TestHeapUnderfull(t *testing.T) {
 	h := NewHeap(5)
-	if !math.IsInf(h.Kth(), 1) {
-		t.Fatal("empty heap Kth should be +Inf")
+	if !math.IsInf(h.Kth2(), 1) || !math.IsInf(h.Kth(), 1) {
+		t.Fatal("empty heap bound should be +Inf")
 	}
-	h.Offer(1, 3)
-	h.Offer(2, 1)
-	if !math.IsInf(h.Kth(), 1) {
-		t.Fatal("underfull heap Kth should be +Inf")
+	h.OfferSquared(1, 9)
+	h.OfferSquared(2, 1)
+	if !math.IsInf(h.Kth2(), 1) {
+		t.Fatal("underfull heap Kth2 should be +Inf")
 	}
 	if h.Len() != 2 {
 		t.Fatalf("Len = %d", h.Len())
@@ -57,19 +62,76 @@ func TestHeapUnderfull(t *testing.T) {
 
 func TestHeapRejectsWorse(t *testing.T) {
 	h := NewHeap(2)
-	h.Offer(1, 1)
-	h.Offer(2, 2)
-	h.Offer(3, 5) // worse than both
+	h.OfferSquared(1, 1)
+	h.OfferSquared(2, 4)
+	h.OfferSquared(3, 25) // worse than both
 	got := h.Sorted()
 	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
 		t.Fatalf("Sorted = %v", got)
 	}
 }
 
+// TestHeapTieBreakByID pins the deterministic tie rule: among
+// equal-distance candidates the smallest IDs are retained, and the sorted
+// output orders equal distances by ascending ID — regardless of offer
+// order.
+func TestHeapTieBreakByID(t *testing.T) {
+	ids := []descriptor.ID{7, 3, 9, 1, 5, 8, 2}
+	perms := [][]int{{0, 1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1, 0}, {3, 0, 6, 2, 5, 1, 4}}
+	for _, perm := range perms {
+		h := NewHeap(3)
+		for _, p := range perm {
+			h.OfferSquared(ids[p], 4)
+		}
+		if h.Kth2() != 4 {
+			t.Fatalf("Kth2 = %v", h.Kth2())
+		}
+		got := h.Sorted()
+		if len(got) != 3 || got[0].ID != 1 || got[1].ID != 2 || got[2].ID != 3 {
+			t.Fatalf("perm %v: Sorted = %v, want IDs 1,2,3", perm, got)
+		}
+	}
+}
+
+func TestHeapResetReuses(t *testing.T) {
+	h := NewHeap(4)
+	for i := 0; i < 10; i++ {
+		h.OfferSquared(descriptor.ID(i), float64(10-i))
+	}
+	h.Reset(2)
+	if h.Len() != 0 || h.K() != 2 {
+		t.Fatalf("after Reset: Len=%d K=%d", h.Len(), h.K())
+	}
+	h.OfferSquared(1, 4)
+	h.OfferSquared(2, 1)
+	h.OfferSquared(3, 9)
+	got := h.Sorted()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("Sorted after Reset = %v", got)
+	}
+}
+
+func TestSortedIntoNoAlloc(t *testing.T) {
+	h := NewHeap(8)
+	for i := 0; i < 50; i++ {
+		h.OfferSquared(descriptor.ID(i), float64((i*37)%100))
+	}
+	buf := make([]Neighbor, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = h.SortedInto(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("SortedInto allocated %v times per run", allocs)
+	}
+	if len(buf) != 8 {
+		t.Fatalf("len = %d", len(buf))
+	}
+}
+
 func TestAppendAll(t *testing.T) {
 	h := NewHeap(3)
-	h.Offer(1, 1)
-	h.Offer(2, 2)
+	h.OfferSquared(1, 1)
+	h.OfferSquared(2, 4)
 	buf := make([]Neighbor, 0, 4)
 	buf = h.AppendAll(buf)
 	if len(buf) != 2 {

@@ -174,7 +174,8 @@ func (ix *Index) Query(q vec.Vector, k, maxCandidates int) ([]knn.Neighbor, Stat
 			}
 			seen[pos] = true
 			st.Candidates++
-			heap.Offer(ix.coll.IDAt(int(pos)), vec.Distance(q, ix.coll.Vec(int(pos))))
+			d2 := vec.PartialSquaredDistance(q, ix.coll.Vec(int(pos)), heap.Kth2())
+			heap.OfferSquared(ix.coll.IDAt(int(pos)), d2)
 			if maxCandidates > 0 && st.Candidates >= maxCandidates {
 				return heap.Sorted(), st
 			}

@@ -184,8 +184,13 @@ func (ix *Index) QueryWithStats(q vec.Vector, k int, opts Options) ([]knn.Neighb
 	seen := map[int32]int{}
 	emitted := map[int32]bool{}
 	var out []knn.Neighbor
+	var batch []int32
 	for step := 0; step < maxSteps && len(out) < k; step++ {
 		st.Steps++
+		// Advance every cursor for the round, then emit the round's
+		// qualifiers in ascending-ID order: equal-rank neighbors leave the
+		// refinement deterministically, independent of line ordering.
+		batch = batch[:0]
 		for _, c := range cursors {
 			p := c.next()
 			if p < 0 {
@@ -198,13 +203,19 @@ func (ix *Index) QueryWithStats(q vec.Vector, k int, opts Options) ([]knn.Neighb
 			seen[p]++
 			if seen[p] >= need {
 				emitted[p] = true
-				out = append(out, knn.Neighbor{
-					ID:   ix.coll.IDAt(int(p)),
-					Dist: vec.Distance(q, ix.coll.Vec(int(p))),
-				})
-				if len(out) == k {
-					break
-				}
+				batch = append(batch, p)
+			}
+		}
+		sort.Slice(batch, func(a, b int) bool {
+			return ix.coll.IDAt(int(batch[a])) < ix.coll.IDAt(int(batch[b]))
+		})
+		for _, p := range batch {
+			out = append(out, knn.Neighbor{
+				ID:   ix.coll.IDAt(int(p)),
+				Dist: vec.Distance(q, ix.coll.Vec(int(p))),
+			})
+			if len(out) == k {
+				break
 			}
 		}
 	}

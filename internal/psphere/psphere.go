@@ -90,16 +90,23 @@ func Build(coll *descriptor.Collection, cfg Config) (*Index, error) {
 		ix.centers = append(ix.centers, coll.Vec(perm[c]).Clone())
 	}
 
-	// Order all descriptors by distance from every center.
+	// Order all descriptors by distance from every center, batching the
+	// squared distances over the collection's contiguous backing array.
+	// Distance ties order by position so sphere contents are deterministic.
 	orders := make([][]int32, m)
+	dists := make([]float64, n)
 	for c := 0; c < m; c++ {
 		ord := make([]int32, n)
-		dists := make([]float64, n)
 		for i := 0; i < n; i++ {
 			ord[i] = int32(i)
-			dists[i] = vec.SquaredDistance(ix.centers[c], coll.Vec(i))
 		}
-		sort.Slice(ord, func(a, b int) bool { return dists[ord[a]] < dists[ord[b]] })
+		vec.SquaredDistancesTo(ix.centers[c], coll.Backing(), coll.Dims(), dists)
+		sort.Slice(ord, func(a, b int) bool {
+			if dists[ord[a]] != dists[ord[b]] {
+				return dists[ord[a]] < dists[ord[b]]
+			}
+			return ord[a] < ord[b]
+		})
 		orders[c] = ord
 	}
 
@@ -160,7 +167,7 @@ func (ix *Index) ReplicationFactor() float64 {
 func (ix *Index) nearestCenter(q vec.Vector) int {
 	best, bestD := 0, math.Inf(1)
 	for c, ctr := range ix.centers {
-		if d := vec.SquaredDistance(q, ctr); d < bestD {
+		if d := vec.PartialSquaredDistance(q, ctr, bestD); d < bestD {
 			best, bestD = c, d
 		}
 	}
@@ -183,8 +190,8 @@ func (ix *Index) Query(q vec.Vector, k int) ([]knn.Neighbor, Stats) {
 	st.Sphere = c
 	heap := knn.NewHeap(k)
 	for _, pos := range ix.lists[c] {
-		d := vec.Distance(q, ix.coll.Vec(int(pos)))
-		heap.Offer(ix.coll.IDAt(int(pos)), d)
+		d2 := vec.PartialSquaredDistance(q, ix.coll.Vec(int(pos)), heap.Kth2())
+		heap.OfferSquared(ix.coll.IDAt(int(pos)), d2)
 		st.Scanned++
 	}
 	return heap.Sorted(), st

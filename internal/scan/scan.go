@@ -5,78 +5,26 @@
 package scan
 
 import (
-	"math"
-	"sort"
-
 	"repro/internal/descriptor"
 	"repro/internal/knn"
 	"repro/internal/vec"
 )
 
 // KNN returns the exact k nearest descriptors of q in coll, ordered by
-// increasing distance.
+// (increasing distance, ascending id). The scan runs on the shared
+// squared-distance heap with partial-distance early abandonment against
+// the current k-th bound; sqrt is applied only at the reporting boundary
+// inside Sorted.
 func KNN(coll *descriptor.Collection, q vec.Vector, k int) []knn.Neighbor {
 	if k <= 0 || coll.Len() == 0 {
 		return nil
 	}
-	// Bounded max-heap over squared distances; take sqrt only at the end.
-	type ent struct {
-		id descriptor.ID
-		d2 float64
-	}
-	items := make([]ent, 0, k)
-	worst := math.Inf(1)
-	up := func(i int) {
-		for i > 0 {
-			p := (i - 1) / 2
-			if items[p].d2 >= items[i].d2 {
-				break
-			}
-			items[p], items[i] = items[i], items[p]
-			i = p
-		}
-	}
-	down := func() {
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			big := i
-			if l < len(items) && items[l].d2 > items[big].d2 {
-				big = l
-			}
-			if r < len(items) && items[r].d2 > items[big].d2 {
-				big = r
-			}
-			if big == i {
-				return
-			}
-			items[i], items[big] = items[big], items[i]
-			i = big
-		}
-	}
+	h := knn.NewHeap(k)
 	for i := 0; i < coll.Len(); i++ {
-		d2 := vec.SquaredDistance(q, coll.Vec(i))
-		if len(items) < k {
-			items = append(items, ent{coll.IDAt(i), d2})
-			up(len(items) - 1)
-			if len(items) == k {
-				worst = items[0].d2
-			}
-			continue
-		}
-		if d2 >= worst {
-			continue
-		}
-		items[0] = ent{coll.IDAt(i), d2}
-		down()
-		worst = items[0].d2
+		d2 := vec.PartialSquaredDistance(q, coll.Vec(i), h.Kth2())
+		h.OfferSquared(coll.IDAt(i), d2)
 	}
-	out := make([]knn.Neighbor, len(items))
-	for i, e := range items {
-		out[i] = knn.Neighbor{ID: e.id, Dist: math.Sqrt(e.d2)}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
-	return out
+	return h.Sorted()
 }
 
 // GroundTruth precomputes the exact top-k id sets for a batch of queries.

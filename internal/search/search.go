@@ -11,6 +11,14 @@
 //     chunk's lower bound (centroid distance minus radius, the reason
 //     radii are stored in the index) can beat the current k-th neighbor.
 //
+// The scan phase follows the repo-wide squared-distance convention: the
+// per-chunk loop runs on the vec batch kernel over the contiguous
+// Data.Vecs backing array while the k-NN set is filling, then switches to
+// partial-distance early abandonment against the current k-th squared
+// bound. Per-query state (chunk ranking, suffix bounds, chunk buffers,
+// the k-NN heap) lives in a pooled scratch, so the steady-state query
+// path performs no allocations.
+//
 // Elapsed time is tracked on the simdisk cost model so the paper's 2005
 // wall-clock magnitudes are reproduced deterministically; real wall time
 // is measured as well.
@@ -19,7 +27,8 @@ package search
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"repro/internal/chunkfile"
@@ -100,7 +109,7 @@ type Event struct {
 
 // Result is the outcome of one query.
 type Result struct {
-	Neighbors  []Neighbor    // ordered by increasing distance
+	Neighbors  []Neighbor    // ordered by (increasing distance, ascending id)
 	ChunksRead int           // chunks processed
 	Elapsed    time.Duration // simulated elapsed time (index read + chunks)
 	IndexRead  time.Duration // simulated cost of reading + ranking the index
@@ -108,10 +117,32 @@ type Result struct {
 	Exact      bool          // true if the exact stop condition held at the end
 }
 
-// Searcher executes queries against one chunk store.
+// rankedChunk is one chunk in the query's processing order.
+type rankedChunk struct {
+	idx   int     // position in the store
+	d2    float64 // squared centroid distance (ranking key)
+	bound float64 // true-distance lower bound: max(0, dist - radius)
+}
+
+// scratch is the reusable per-query state. Searchers pool scratches so
+// concurrent SearchBatch workers never allocate per query in steady
+// state.
+type scratch struct {
+	ranked []rankedChunk
+	suffix []float64 // suffix minima over ranked bounds (true distances)
+	d2     []float64 // batch-kernel output for one chunk
+	data   chunkfile.Data
+	heap   *knn.Heap
+	events []Neighbor
+	pipe   simdisk.Pipeline
+}
+
+// Searcher executes queries against one chunk store. It is safe for
+// concurrent use.
 type Searcher struct {
 	store chunkfile.Store
 	model *simdisk.Model
+	pool  sync.Pool // *scratch
 }
 
 // New returns a Searcher over the given store.
@@ -119,13 +150,27 @@ func New(store chunkfile.Store, model *simdisk.Model) *Searcher {
 	if model == nil {
 		model = simdisk.Default2005()
 	}
-	return &Searcher{store: store, model: model}
+	s := &Searcher{store: store, model: model}
+	s.pool.New = func() any { return &scratch{heap: knn.NewHeap(0)} }
+	return s
 }
 
 // Search runs one query. The default stop rule is ToCompletion and the
 // default K is 30 (the paper's quality metric is precision within the top
 // 30).
 func (s *Searcher) Search(q vec.Vector, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := s.SearchInto(q, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchInto runs one query, writing the outcome into res. The neighbor
+// slice already in res is reused when it has capacity, so a caller
+// recycling one Result across queries performs zero allocations per query
+// in steady state.
+func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 	start := time.Now()
 	if opts.K <= 0 {
 		opts.K = 30
@@ -140,73 +185,113 @@ func (s *Searcher) Search(q vec.Vector, opts Options) (*Result, error) {
 	metas := s.store.Meta()
 	dims := s.store.Dims()
 	if len(q) != dims {
-		return nil, fmt.Errorf("search: query dims %d != store dims %d", len(q), dims)
+		return fmt.Errorf("search: query dims %d != store dims %d", len(q), dims)
 	}
+	neighbors := res.Neighbors[:0]
+	*res = Result{}
 
-	// Step 1: global ranking of chunks by centroid distance.
-	type rankedChunk struct {
-		idx   int
-		dist  float64
-		bound float64
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+
+	// Step 1: global ranking of chunks by centroid distance. Squared
+	// distances order the ranking; one sqrt per chunk converts to the
+	// true-distance lower bound the stop rule consumes.
+	if cap(sc.ranked) < len(metas) {
+		sc.ranked = make([]rankedChunk, len(metas))
 	}
-	ranked := make([]rankedChunk, len(metas))
+	ranked := sc.ranked[:len(metas)]
 	for i, m := range metas {
-		d := vec.Distance(q, m.Centroid)
-		lb := d - m.Radius
+		d2 := vec.SquaredDistance(q, m.Centroid)
+		lb := math.Sqrt(d2) - m.Radius
 		if lb < 0 {
 			lb = 0
 		}
-		ranked[i] = rankedChunk{idx: i, dist: d, bound: lb}
+		ranked[i] = rankedChunk{idx: i, d2: d2, bound: lb}
 	}
-	sort.Slice(ranked, func(a, b int) bool { return ranked[a].dist < ranked[b].dist })
-	// suffixBound[i] = min lower bound over ranked[i:]; +Inf past the end.
-	suffixBound := make([]float64, len(ranked)+1)
-	suffixBound[len(ranked)] = math.Inf(1)
+	slices.SortFunc(ranked, func(a, b rankedChunk) int {
+		switch {
+		case a.d2 < b.d2:
+			return -1
+		case a.d2 > b.d2:
+			return 1
+		}
+		return a.idx - b.idx
+	})
+	// suffix[i] = min lower bound over ranked[i:]; +Inf past the end.
+	if cap(sc.suffix) < len(ranked)+1 {
+		sc.suffix = make([]float64, len(ranked)+1)
+	}
+	suffix := sc.suffix[:len(ranked)+1]
+	suffix[len(ranked)] = math.Inf(1)
 	for i := len(ranked) - 1; i >= 0; i-- {
-		suffixBound[i] = math.Min(suffixBound[i+1], ranked[i].bound)
+		suffix[i] = math.Min(suffix[i+1], ranked[i].bound)
 	}
 
 	indexRead := model.IndexReadTime(len(metas), chunkfile.EntrySize(dims))
-	pipe := simdisk.NewPipeline(model, opts.Overlap, indexRead)
+	sc.pipe.Reset(model, opts.Overlap, indexRead)
 
-	res := &Result{IndexRead: indexRead, Elapsed: indexRead}
-	heap := knn.NewHeap(opts.K)
-	var data chunkfile.Data
-	eventNeighbors := make([]Neighbor, 0, opts.K)
+	res.IndexRead = indexRead
+	res.Elapsed = indexRead
+	heap := sc.heap
+	heap.Reset(opts.K)
 
-	for pos, rc := range ranked {
-		m := metas[rc.idx]
-		if err := s.store.ReadChunk(rc.idx, &data); err != nil {
-			return nil, err
+	for pos := range ranked {
+		rc := &ranked[pos]
+		m := &metas[rc.idx]
+		if err := s.store.ReadChunk(rc.idx, &sc.data); err != nil {
+			return err
 		}
-		for k := 0; k < data.Len(); k++ {
-			d := vec.Distance(q, data.Vec(k))
-			heap.Offer(data.IDs[k], d)
-		}
-		elapsed := pipe.Chunk(m.Bytes, m.Count)
+		s.scanChunk(q, dims, &sc.data, heap, sc)
+		elapsed := sc.pipe.Chunk(m.Bytes, m.Count)
 		res.ChunksRead++
 		res.Elapsed = elapsed
 
 		if opts.Trace != nil {
-			eventNeighbors = heap.AppendAll(eventNeighbors[:0])
+			sc.events = heap.AppendAll(sc.events[:0])
 			opts.Trace(Event{
 				Ordinal:    pos + 1,
 				ChunkIndex: rc.idx,
 				ChunkCount: m.Count,
 				Elapsed:    elapsed,
-				Neighbors:  eventNeighbors,
+				Neighbors:  sc.events,
 			})
 		}
 
-		if opts.Stop.Done(res.ChunksRead, elapsed, heap.Kth(), suffixBound[pos+1]) {
-			res.Exact = suffixBound[pos+1] > heap.Kth()
+		if opts.Stop.Done(res.ChunksRead, elapsed, heap.Kth(), suffix[pos+1]) {
+			res.Exact = suffix[pos+1] > heap.Kth()
 			break
 		}
 	}
 	if res.ChunksRead == len(ranked) {
 		res.Exact = true
 	}
-	res.Neighbors = heap.Sorted()
+	res.Neighbors = heap.SortedInto(neighbors)
 	res.Wall = time.Since(start)
-	return res, nil
+	return nil
+}
+
+// scanChunk offers every descriptor of the chunk to the heap. While the
+// heap is still filling, the batch kernel computes all squared distances
+// over the chunk's contiguous backing array; once a k-th bound exists,
+// per-descriptor partial distances abandon as soon as the running sum
+// exceeds it.
+func (s *Searcher) scanChunk(q vec.Vector, dims int, data *chunkfile.Data, heap *knn.Heap, sc *scratch) {
+	n := data.Len()
+	vecs := data.Vecs
+	if heap.Len() < heap.K() {
+		if cap(sc.d2) < n {
+			sc.d2 = make([]float64, n)
+		}
+		d2s := sc.d2[:n]
+		vec.SquaredDistancesTo(q, vecs, dims, d2s)
+		for r, d2 := range d2s {
+			heap.OfferSquared(data.IDs[r], d2)
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		row := vec.Vector(vecs[r*dims : (r+1)*dims])
+		d2 := vec.PartialSquaredDistance(q, row, heap.Kth2())
+		heap.OfferSquared(data.IDs[r], d2)
+	}
 }

@@ -105,7 +105,15 @@ type Pipeline struct {
 // NewPipeline returns a pipeline whose clock starts after the given
 // initial cost (typically the index read).
 func NewPipeline(m *Model, overlap bool, initial time.Duration) *Pipeline {
-	return &Pipeline{model: m, overlap: overlap, ioDone: initial, cpuDone: initial}
+	p := &Pipeline{}
+	p.Reset(m, overlap, initial)
+	return p
+}
+
+// Reset re-initializes p in place, allowing a pipeline value held in a
+// per-query scratch to be reused without allocating.
+func (p *Pipeline) Reset(m *Model, overlap bool, initial time.Duration) {
+	*p = Pipeline{model: m, overlap: overlap, ioDone: initial, cpuDone: initial}
 }
 
 // Chunk advances the pipeline by one chunk of the given on-disk size and

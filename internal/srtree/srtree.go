@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/descriptor"
+	"repro/internal/knn"
 	"repro/internal/vec"
 )
 
@@ -193,13 +194,13 @@ func (t *Tree) refit(n *node) {
 		n.centroid[d] = float32(s * inv)
 	}
 	if n.leaf {
-		var max float64
+		var max2 float64
 		for _, i := range n.entries {
-			if d := vec.Distance(n.centroid, t.coll.Vec(i)); d > max {
-				max = d
+			if d2 := vec.SquaredDistance(n.centroid, t.coll.Vec(i)); d2 > max2 {
+				max2 = d2
 			}
 		}
-		n.radius = max
+		n.radius = math.Sqrt(max2)
 	} else {
 		// SR-tree parent sphere: bound the child spheres, additionally
 		// clipped by the bounding rectangle's farthest corner.
@@ -321,13 +322,13 @@ func (t *Tree) splitInternal(n *node) *node {
 	return right
 }
 
-// lowerBound returns the SR-tree lower bound on the distance from q to any
-// descriptor under n: the larger of the rectangle MINDIST and the sphere
-// bound (the region is the intersection of the two).
-func (t *Tree) lowerBound(q vec.Vector, n *node) float64 {
-	rb := math.Sqrt(n.rect.SquaredMinDist(q))
+// lowerBound2 returns the squared SR-tree lower bound on the distance
+// from q to any descriptor under n: the larger of the rectangle MINDIST
+// and the sphere bound (the region is the intersection of the two).
+func (t *Tree) lowerBound2(q vec.Vector, n *node) float64 {
+	rb2 := n.rect.SquaredMinDist(q)
 	sb := vec.SphereLowerBound(q, n.centroid, n.radius)
-	return math.Max(rb, sb)
+	return math.Max(rb2, sb*sb)
 }
 
 // Neighbor is one k-NN result.
@@ -337,16 +338,17 @@ type Neighbor struct {
 	Dist  float64
 }
 
-// pqItem is a prioritized tree node for best-first search.
+// pqItem is a prioritized tree node for best-first search; bound2 is the
+// squared lower bound.
 type pqItem struct {
-	n     *node
-	bound float64
+	n      *node
+	bound2 float64
 }
 
 type pq []pqItem
 
 func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].bound < p[j].bound }
+func (p pq) Less(i, j int) bool  { return p[i].bound2 < p[j].bound2 }
 func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
 func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
 func (p *pq) Pop() interface{} {
@@ -357,58 +359,77 @@ func (p *pq) Pop() interface{} {
 	return it
 }
 
-// KNN returns the k nearest descriptors to q in increasing distance order,
-// searched best-first with the SR-tree bounds (exact result).
+// KNN returns the k nearest descriptors to q ordered by (increasing
+// distance, ascending id), searched best-first with the SR-tree bounds
+// (exact result). Internally everything runs on squared distances from
+// the shared vec kernels — leaf scans abandon partial distances against
+// the current k-th squared bound — with sqrt applied only when the result
+// is assembled.
 func (t *Tree) KNN(q vec.Vector, k int) []Neighbor {
 	if k <= 0 || t.size == 0 {
 		return nil
 	}
 	var frontier pq
-	heap.Push(&frontier, pqItem{t.root, t.lowerBound(q, t.root)})
+	heap.Push(&frontier, pqItem{t.root, t.lowerBound2(q, t.root)})
 	res := newResultSet(k)
 	for frontier.Len() > 0 {
 		it := heap.Pop(&frontier).(pqItem)
-		if it.bound > res.worst() {
+		if it.bound2 > res.worst2() {
 			break
 		}
 		if it.n.leaf {
 			for _, i := range it.n.entries {
-				d := vec.Distance(q, t.coll.Vec(i))
-				res.offer(Neighbor{Index: i, ID: t.coll.IDAt(i), Dist: d})
+				d2 := vec.PartialSquaredDistance(q, t.coll.Vec(i), res.worst2())
+				res.offer(entry{index: i, id: t.coll.IDAt(i), d2: d2})
 			}
 			continue
 		}
 		for _, c := range it.n.children {
-			if b := t.lowerBound(q, c); b <= res.worst() {
-				heap.Push(&frontier, pqItem{c, b})
+			if b2 := t.lowerBound2(q, c); b2 <= res.worst2() {
+				heap.Push(&frontier, pqItem{c, b2})
 			}
 		}
 	}
 	return res.sorted()
 }
 
-// resultSet is a bounded max-heap of the k best neighbors so far.
+// entry is one candidate in squared-distance form.
+type entry struct {
+	index int
+	id    descriptor.ID
+	d2    float64
+}
+
+// entryBeats orders entries by the canonical composite order shared with
+// every other backend (knn.Less), carrying the extra Index payload the
+// shared heap does not store.
+func entryBeats(a, b entry) bool {
+	return knn.Less(a.d2, a.id, b.d2, b.id)
+}
+
+// resultSet is a bounded max-heap of the k best candidates so far under
+// the composite order.
 type resultSet struct {
 	k     int
-	items []Neighbor
+	items []entry
 }
 
 func newResultSet(k int) *resultSet { return &resultSet{k: k} }
 
-func (r *resultSet) worst() float64 {
+func (r *resultSet) worst2() float64 {
 	if len(r.items) < r.k {
 		return math.Inf(1)
 	}
-	return r.items[0].Dist
+	return r.items[0].d2
 }
 
-func (r *resultSet) offer(n Neighbor) {
+func (r *resultSet) offer(n entry) {
 	if len(r.items) < r.k {
 		r.items = append(r.items, n)
 		r.up(len(r.items) - 1)
 		return
 	}
-	if n.Dist >= r.items[0].Dist {
+	if !entryBeats(n, r.items[0]) {
 		return
 	}
 	r.items[0] = n
@@ -418,7 +439,7 @@ func (r *resultSet) offer(n Neighbor) {
 func (r *resultSet) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if r.items[p].Dist >= r.items[i].Dist {
+		if !entryBeats(r.items[p], r.items[i]) {
 			break
 		}
 		r.items[p], r.items[i] = r.items[i], r.items[p]
@@ -430,10 +451,10 @@ func (r *resultSet) down(i int) {
 	for {
 		l, rr := 2*i+1, 2*i+2
 		big := i
-		if l < len(r.items) && r.items[l].Dist > r.items[big].Dist {
+		if l < len(r.items) && entryBeats(r.items[big], r.items[l]) {
 			big = l
 		}
-		if rr < len(r.items) && r.items[rr].Dist > r.items[big].Dist {
+		if rr < len(r.items) && entryBeats(r.items[big], r.items[rr]) {
 			big = rr
 		}
 		if big == i {
@@ -445,8 +466,12 @@ func (r *resultSet) down(i int) {
 }
 
 func (r *resultSet) sorted() []Neighbor {
-	out := append([]Neighbor(nil), r.items...)
-	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	items := append([]entry(nil), r.items...)
+	sort.Slice(items, func(a, b int) bool { return entryBeats(items[a], items[b]) })
+	out := make([]Neighbor, len(items))
+	for i, e := range items {
+		out[i] = Neighbor{Index: e.index, ID: e.id, Dist: math.Sqrt(e.d2)}
+	}
 	return out
 }
 

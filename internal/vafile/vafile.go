@@ -130,7 +130,10 @@ func (ix *Index) Search(q vec.Vector, k int, opts Options) ([]knn.Neighbor, Stat
 	dims := ix.coll.Dims()
 
 	// Phase 1: bound scan. Track the k smallest upper bounds with a
-	// max-heap; collect lower bounds for the candidate filter.
+	// max-heap; collect lower bounds for the candidate filter. All bounds
+	// stay in squared form — the phase only compares them — so the exact
+	// path computes no square roots at all; only the VA-BND epsilon
+	// adjustment (defined in true-distance space) converts and back.
 	lbs := make([]float64, n)
 	ubHeap := make([]float64, 0, k)
 	pushUB := func(u float64) {
@@ -169,54 +172,65 @@ func (ix *Index) Search(q vec.Vector, k int, opts Options) ([]knn.Neighbor, Stat
 		}
 	}
 	for i := 0; i < n; i++ {
-		lb, ub := ix.bounds(q, i, dims)
+		lb2, ub2 := ix.bounds2(q, i, dims)
 		if opts.Epsilon > 0 {
-			lb += opts.Epsilon
-			ub -= opts.Epsilon
+			lb := math.Sqrt(lb2) + opts.Epsilon
+			lb2 = lb * lb
+			ub := math.Sqrt(ub2) - opts.Epsilon
 			if ub < 0 {
 				ub = 0
 			}
+			ub2 = ub * ub
 		}
-		lbs[i] = lb
-		pushUB(ub)
+		lbs[i] = lb2
+		pushUB(ub2)
 	}
-	kthUB := math.Inf(1)
+	kthUB2 := math.Inf(1)
 	if len(ubHeap) == k {
-		kthUB = ubHeap[0]
+		kthUB2 = ubHeap[0]
 	}
 
 	type cand struct {
 		pos int
-		lb  float64
+		lb2 float64
 	}
 	var cands []cand
 	for i := 0; i < n; i++ {
-		if lbs[i] <= kthUB {
+		if lbs[i] <= kthUB2 {
 			cands = append(cands, cand{i, lbs[i]})
 		}
 	}
 	st.Candidates = len(cands)
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	// Ties on the lower bound refine in collection order so Visited counts
+	// are deterministic under a VisitBudget.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].lb2 != cands[b].lb2 {
+			return cands[a].lb2 < cands[b].lb2
+		}
+		return cands[a].pos < cands[b].pos
+	})
 
-	// Phase 2: refine in ascending lower-bound order.
+	// Phase 2: refine in ascending lower-bound order with the shared
+	// squared-distance kernel and heap; stop on strict bound excess so an
+	// equal-distance, smaller-ID neighbor is still admitted.
 	heap := knn.NewHeap(k)
 	for _, c := range cands {
-		if c.lb > heap.Kth() {
+		if c.lb2 > heap.Kth2() {
 			break
 		}
 		if opts.VisitBudget > 0 && st.Visited >= opts.VisitBudget {
 			break
 		}
-		d := vec.Distance(q, ix.coll.Vec(c.pos))
-		heap.Offer(ix.coll.IDAt(c.pos), d)
+		d2 := vec.PartialSquaredDistance(q, ix.coll.Vec(c.pos), heap.Kth2())
+		heap.OfferSquared(ix.coll.IDAt(c.pos), d2)
 		st.Visited++
 	}
 	return heap.Sorted(), st, nil
 }
 
-// bounds computes the lower and upper distance bounds between q and the
-// cell of descriptor i.
-func (ix *Index) bounds(q vec.Vector, i, dims int) (lb, ub float64) {
+// bounds2 computes the squared lower and upper distance bounds between q
+// and the cell of descriptor i.
+func (ix *Index) bounds2(q vec.Vector, i, dims int) (lb2, ub2 float64) {
 	var lo2, hi2 float64
 	base := i * dims
 	for d := 0; d < dims; d++ {
@@ -237,7 +251,7 @@ func (ix *Index) bounds(q vec.Vector, i, dims int) (lb, ub float64) {
 		far := math.Max(math.Abs(x-cellLo), math.Abs(x-cellHi))
 		hi2 += far * far
 	}
-	return math.Sqrt(lo2), math.Sqrt(hi2)
+	return lo2, hi2
 }
 
 // ApproximationBytes returns the size of the approximation file: the

@@ -42,9 +42,9 @@ func TestBoundsAreValid(t *testing.T) {
 		}
 		dims := coll.Dims()
 		for i := 0; i < coll.Len(); i += 37 {
-			lb, ub := ix.bounds(q, i, dims)
+			lb2, ub2 := ix.bounds2(q, i, dims)
 			truth := vec.Distance(q, coll.Vec(i))
-			if lb > truth+1e-5 || ub < truth-1e-5 {
+			if math.Sqrt(lb2) > truth+1e-5 || math.Sqrt(ub2) < truth-1e-5 {
 				return false
 			}
 		}

@@ -1,0 +1,143 @@
+package vec
+
+import "fmt"
+
+// This file holds the distance kernels every search backend in the
+// repository is built on. All of them share one accumulation scheme —
+// element i feeds float32 lane i&3, the four lanes are combined as
+// (s0+s1)+(s2+s3) and widened to float64 last — so any two kernels
+// computing the same full distance produce bit-identical results. That
+// bit-identity is what lets independently implemented backends (chunk
+// search, sequential scan, SR-tree, VA-File, ...) agree exactly on
+// neighbor sets, tie order included.
+
+// squaredDist24 is the fully unrolled kernel for the paper's 24-d
+// descriptors. It matches squaredDistGeneric(a[:24], b[:24]) bit for bit.
+func squaredDist24(a, b Vector) float64 {
+	a = a[:24:24]
+	b = b[:24:24]
+	var s0, s1, s2, s3 float32
+	for i := 0; i <= 20; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	return float64((s0 + s1) + (s2 + s3))
+}
+
+// squaredDistGeneric is the 4-way unrolled kernel for arbitrary
+// dimensionality.
+func squaredDistGeneric(a, b Vector) float64 {
+	var s0, s1, s2, s3 float32
+	i, n := 0, len(a)
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return float64((s0 + s1) + (s2 + s3))
+}
+
+// squaredDist dispatches to the specialized or generic kernel.
+func squaredDist(a, b Vector) float64 {
+	if len(a) == Dims {
+		return squaredDist24(a, b)
+	}
+	return squaredDistGeneric(a, b)
+}
+
+// SquaredDistancesTo computes the squared distance from q to every row of
+// the flattened backing array (len(backing)/dims rows of dims float32s
+// each, the layout of chunkfile.Data.Vecs and descriptor.Collection) and
+// stores them in out. It panics if out is shorter than the row count or
+// backing is not a whole number of rows. Each out[i] is bit-identical to
+// SquaredDistance(q, row_i).
+func SquaredDistancesTo(q Vector, backing []float32, dims int, out []float64) {
+	if len(q) != dims {
+		panic(fmt.Sprintf("vec: query dims %d != row dims %d", len(q), dims))
+	}
+	if dims <= 0 || len(backing)%dims != 0 {
+		panic(fmt.Sprintf("vec: backing length %d is not a multiple of dims %d", len(backing), dims))
+	}
+	n := len(backing) / dims
+	if len(out) < n {
+		panic(fmt.Sprintf("vec: out length %d < %d rows", len(out), n))
+	}
+	if dims == Dims {
+		for i := 0; i < n; i++ {
+			out[i] = squaredDist24(q, backing[i*Dims:(i+1)*Dims])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = squaredDistGeneric(q, backing[i*dims:(i+1)*dims])
+	}
+}
+
+// PartialSquaredDistance computes the squared distance between a and b,
+// abandoning early once the partial sum exceeds bound (a squared
+// distance). When the true squared distance is ≤ bound the exact value is
+// returned, bit-identical to SquaredDistance(a, b); otherwise some value
+// strictly greater than bound is returned (the partial sum at the point of
+// abandonment). Callers pruning against a current k-th-neighbor bound pass
+// that bound and discard any result exceeding it.
+//
+// The bound checks never alter the accumulators, so whether or not checks
+// run, a non-abandoned result is exact.
+func PartialSquaredDistance(a, b Vector, bound float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s0, s1, s2, s3 float32
+	i, n := 0, len(a)
+	for ; i+8 <= n; i += 8 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		d0 = a[i+4] - b[i+4]
+		d1 = a[i+5] - b[i+5]
+		d2 = a[i+6] - b[i+6]
+		d3 = a[i+7] - b[i+7]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+		if float64((s0+s1)+(s2+s3)) > bound {
+			return float64((s0 + s1) + (s2 + s3))
+		}
+	}
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return float64((s0 + s1) + (s2 + s3))
+}

@@ -2,9 +2,19 @@
 // descriptors.
 //
 // The paper works with 24-dimensional local descriptors compared under
-// Euclidean (L2) distance. Throughout this repository distances are
-// computed and compared in *squared* form wherever only ordering matters,
-// and converted with math.Sqrt only at reporting boundaries.
+// Euclidean (L2) distance. The repo-wide convention is: distances are
+// computed and compared in *squared* form everywhere ordering or pruning
+// is all that matters — heaps, stop rules, partial-distance abandonment —
+// and converted with math.Sqrt only at reporting boundaries (knn.Heap
+// sorting, user-facing Neighbor.Dist fields, radii).
+//
+// All squared distances flow through the kernels in kernels.go
+// (SquaredDistance, SquaredDistancesTo, PartialSquaredDistance): 4-way
+// unrolled float32 accumulation with a specialized dims==24 path, sharing
+// one accumulation order so every kernel returns bit-identical values for
+// the same pair. Search backends must use these kernels (not ad-hoc
+// loops) so that independently implemented searches agree exactly on
+// neighbor sets, tie order included.
 package vec
 
 import (
@@ -37,12 +47,7 @@ func SquaredDistance(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
 	}
-	var sum float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		sum += d * d
-	}
-	return sum
+	return squaredDist(a, b)
 }
 
 // Distance returns the Euclidean distance between a and b.
@@ -145,15 +150,16 @@ func Centroid(vs []Vector) Vector {
 }
 
 // MaxDistanceFrom returns the largest distance from center to any vector in
-// vs (0 for an empty slice). Used to compute minimum bounding radii.
+// vs (0 for an empty slice). Used to compute minimum bounding radii. The
+// maximum is taken over squared distances; sqrt is applied once at the end.
 func MaxDistanceFrom(center Vector, vs []Vector) float64 {
 	var max float64
 	for _, v := range vs {
-		if d := Distance(center, v); d > max {
+		if d := SquaredDistance(center, v); d > max {
 			max = d
 		}
 	}
-	return max
+	return math.Sqrt(max)
 }
 
 // Bounds holds per-dimension minima and maxima of a set of vectors.

@@ -242,28 +242,40 @@ type Result struct {
 
 // Search runs one query against the index.
 func (ix *Index) Search(q Vector, opts SearchOptions) (*Result, error) {
+	res := &Result{}
+	if err := ix.SearchInto(q, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchInto runs one query, writing the outcome into res. The Neighbors
+// slice already in res is reused when it has capacity: a caller recycling
+// one Result across queries (the steady-state serving pattern) performs
+// zero allocations per query.
+func (ix *Index) SearchInto(q Vector, opts SearchOptions, res *Result) error {
 	var stop search.StopRule = search.ToCompletion{}
 	if opts.MaxChunks > 0 {
 		stop = search.ChunkBudget(opts.MaxChunks)
 	} else if opts.MaxTime > 0 {
 		stop = search.TimeBudget(opts.MaxTime)
 	}
-	res, err := ix.searcher.Search(q, search.Options{
+	var sr search.Result
+	sr.Neighbors = res.Neighbors
+	if err := ix.searcher.SearchInto(q, search.Options{
 		K:       opts.K,
 		Stop:    stop,
 		Overlap: opts.Overlap,
 		Model:   opts.Model,
-	})
-	if err != nil {
-		return nil, err
+	}, &sr); err != nil {
+		return err
 	}
-	return &Result{
-		Neighbors:  res.Neighbors,
-		ChunksRead: res.ChunksRead,
-		Simulated:  res.Elapsed,
-		Wall:       res.Wall,
-		Exact:      res.Exact,
-	}, nil
+	res.Neighbors = sr.Neighbors
+	res.ChunksRead = sr.ChunksRead
+	res.Simulated = sr.Elapsed
+	res.Wall = sr.Wall
+	res.Exact = sr.Exact
+	return nil
 }
 
 // MultiSearchOptions controls a multi-descriptor (whole-image) query.
