@@ -1,72 +1,102 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
 )
 
 // BatchOptions extends SearchOptions with a parallelism degree for
 // running a whole workload (the paper runs 1,000-query workloads, §5.3).
 type BatchOptions struct {
 	SearchOptions
-	// Parallelism is the number of worker goroutines (0 = GOMAXPROCS).
+	// Parallelism caps the batch's concurrency (0 = GOMAXPROCS, 1 = run
+	// entirely on the calling goroutine).
 	Parallelism int
 }
 
-// SearchBatch runs every query and returns the results in query order.
-// Queries execute concurrently; each Result carries its own simulated
-// time (the simulation models one 2005 machine per query, so simulated
-// times are per-query, not wall-aggregated).
+// SearchBatchInto runs every query through the chunk-major batch engine,
+// writing the outcome of queries[qi] into results[qi]. Instead of one
+// independent search per query, the engine executes the batch in rounds:
+// each chunk wanted by at least one unfinished query is read and decoded
+// once per round and scanned against all of its queries while its
+// descriptors are hot in cache. Results are byte-identical to per-query
+// Search calls — each query still consumes chunks in its own rank order,
+// applies its stop rule after every chunk, and owns its simulated
+// pipeline, so Simulated remains a per-query time (one modeled 2005
+// machine per query, never wall-aggregated across the batch).
 //
-// The batch fails fast: as soon as any worker hits an error, no further
-// queries are dispatched, in-flight queries finish, and the first error
-// (by query order among those attempted) is returned.
+// The results array is the caller-owned arena: neighbor slices already in
+// it are reused when they have capacity, so recycling one results array
+// across batches (the steady-state serving pattern) performs zero
+// allocations per batch. Wall is the real time from batch start until
+// the query's own retirement.
+//
+// The batch fails fast: any error aborts the run and is reported for the
+// lowest-numbered query that hit it; no results are valid afterwards.
+func (ix *Index) SearchBatchInto(queries []Vector, opts BatchOptions, results []Result) error {
+	if len(results) != len(queries) {
+		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	sp := ix.batchPool.Get().(*[]search.Result)
+	defer ix.batchPool.Put(sp)
+	if cap(*sp) < len(queries) {
+		*sp = make([]search.Result, len(queries))
+	}
+	srs := (*sp)[:len(queries)]
+	for i := range results {
+		srs[i] = search.Result{Neighbors: results[i].Neighbors[:0]}
+	}
+	err := ix.engine.Run(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopRule(opts.SearchOptions),
+		Model:       opts.Model,
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+	}, srs)
+	if err != nil {
+		for i := range srs {
+			srs[i] = search.Result{} // do not retain caller slices in the pool
+		}
+		var qe *batchexec.QueryError
+		if errors.As(err, &qe) {
+			return fmt.Errorf("repro: batch query %d: %w", qe.Query, qe.Err)
+		}
+		return fmt.Errorf("repro: %w", err)
+	}
+	for i := range results {
+		sr := &srs[i]
+		results[i] = Result{
+			Neighbors:  sr.Neighbors,
+			ChunksRead: sr.ChunksRead,
+			Simulated:  sr.Elapsed,
+			Wall:       sr.Wall,
+			Exact:      sr.Exact,
+		}
+		srs[i] = search.Result{} // do not retain caller slices in the pool
+	}
+	return nil
+}
+
+// SearchBatch runs every query and returns the results in query order. It
+// is the allocating convenience form of SearchBatchInto; steady-state
+// callers should recycle a results array through SearchBatchInto instead.
 func (ix *Index) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	backing := make([]Result, len(queries))
+	if err := ix.SearchBatchInto(queries, opts, backing); err != nil {
+		return nil, err
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	out := make([]*Result, len(queries))
+	for i := range backing {
+		out[i] = &backing[i]
 	}
-
-	results := make([]*Result, len(queries))
-	errs := make([]error, len(queries))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	failed := make(chan struct{})
-	var failOnce sync.Once
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qi := range next {
-				results[qi], errs[qi] = ix.Search(queries[qi], opts.SearchOptions)
-				if errs[qi] != nil {
-					failOnce.Do(func() { close(failed) })
-				}
-			}
-		}()
-	}
-dispatch:
-	for qi := range queries {
-		select {
-		case next <- qi:
-		case <-failed:
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-
-	for qi, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("repro: batch query %d: %w", qi, err)
-		}
-	}
-	return results, nil
+	return out, nil
 }

@@ -260,3 +260,52 @@ func BenchmarkSingleQueryBudget5(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchBatchInto measures the chunk-major batch engine on a
+// 200-query workload with the caller-owned result arena — the
+// zero-allocation steady-state batch path. After warm-up this must
+// report 0 allocs/op.
+func BenchmarkSearchBatchInto(b *testing.B) {
+	lab := getBenchLab(b)
+	idx, err := Build(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := DatasetQueries(lab.Coll, 200, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := BatchOptions{SearchOptions: SearchOptions{K: 30, MaxChunks: 5}}
+	results := make([]Result, len(queries))
+	if err := idx.SearchBatchInto(queries, opts, results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := idx.SearchBatchInto(queries, opts, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSearch measures a whole-image multi-descriptor query (a
+// 50-descriptor bag, the §7 follow-up) over the batch engine.
+func BenchmarkMultiSearch(b *testing.B) {
+	lab := getBenchLab(b)
+	idx, err := Build(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bag := make([]Vector, 50)
+	for i := range bag {
+		bag[i] = lab.Coll.Vec(i * 31)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.MultiSearch(bag, MultiSearchOptions{K: 10, MaxChunks: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

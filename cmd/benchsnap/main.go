@@ -3,11 +3,13 @@
 // committed over time form the performance trajectory of the repository:
 // each entry records ns/op and allocs/op for the single-query exact
 // search, the zero-allocation steady-state path, a 5-chunk approximate
-// search, and whole-workload batch throughput.
+// search, whole-workload batch throughput (both the allocating form and
+// the chunk-major zero-allocation result arena), and a multi-descriptor
+// image query.
 //
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-out BENCH_1.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-out BENCH_2.json]
 package main
 
 import (
@@ -57,7 +59,7 @@ func main() {
 	chunk := flag.Int("chunk", 300, "chunk size")
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
-	out := flag.String("out", "BENCH_1.json", "output path")
+	out := flag.String("out", "BENCH_2.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -131,6 +133,41 @@ func main() {
 	m := toMeasurement(workload)
 	m.OpsPerSec *= float64(len(queries)) // per query, not per batch
 	snap.Benchmarks["batch_budget5_200q"] = m
+
+	// The zero-allocation batch path: the chunk-major engine with a
+	// recycled caller-owned result arena. Steady state must be 0 allocs.
+	batchInto := testing.Benchmark(func(b *testing.B) {
+		opts := repro.BatchOptions{SearchOptions: repro.SearchOptions{K: *k, MaxChunks: 5}}
+		results := make([]repro.Result, len(queries))
+		if err := idx.SearchBatchInto(queries, opts, results); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := idx.SearchBatchInto(queries, opts, results); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m = toMeasurement(batchInto)
+	m.OpsPerSec *= float64(len(queries))
+	snap.Benchmarks["batch_into_budget5_200q"] = m
+
+	// Whole-image multi-descriptor query: a 50-descriptor bag batched
+	// against the store, 3-chunk budget per descriptor.
+	bag := make([]repro.Vector, 50)
+	for i := range bag {
+		bag[i] = coll.Vec(i * 31)
+	}
+	snap.Benchmarks["multiquery_50desc"] = toMeasurement(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.MultiSearch(bag, repro.MultiSearchOptions{K: 10, MaxChunks: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

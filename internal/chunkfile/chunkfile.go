@@ -68,13 +68,21 @@ func (d *Data) Vec(i int) vec.Vector { return vec.Vector(d.Vecs[i*d.dims : (i+1)
 // serves from the two on-disk files; MemStore serves from memory (used by
 // tests and pure-simulation experiments — the timing figures come from the
 // simdisk model either way).
+//
+// Implementations must support concurrent ReadChunk calls as long as each
+// caller passes its own Data: the chunk-major batch engine issues reads
+// from many worker goroutines against one Store, and one decoded Data may
+// then serve many query scans within a scan group. FileStore satisfies
+// this with positioned reads (ReadAt) into caller-owned buffers; MemStore
+// hands out read-only aliases of store memory.
 type Store interface {
 	// Dims returns the descriptor dimensionality.
 	Dims() int
 	// Meta returns the chunk index in chunk-file order. Callers must not
 	// modify it.
 	Meta() []Meta
-	// ReadChunk decodes chunk i into data, reusing its buffers.
+	// ReadChunk decodes chunk i into data, reusing its buffers. Safe for
+	// concurrent use with distinct Data values.
 	ReadChunk(i int, data *Data) error
 	// Close releases resources.
 	Close() error

@@ -12,7 +12,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/psphere"
 	"repro/internal/search"
+	"repro/internal/search/batchexec"
 	"repro/internal/vafile"
+	"repro/internal/workload"
 )
 
 // ComparatorRow is one (method, parameter) point of the related-work
@@ -58,18 +60,24 @@ func Comparators(lab *Lab) (*ComparatorsResult, error) {
 		return float64(countFound(truthSets[qi], res)) / float64(k)
 	}
 
-	// Chunk search (SR-tree chunks) at several chunk budgets.
+	// Chunk search (SR-tree chunks) at several chunk budgets, run as one
+	// workload batch per budget through the chunk-major engine (results
+	// are byte-identical to per-query searches; the batch path reuses one
+	// results arena across the whole sweep).
 	lab.Cfg.logf("comparators: chunk search...")
-	s := lab.searcher(g.SRStore)
+	eng := batchexec.New(g.SRStore, model)
+	chunkResults := make([]search.Result, len(queries))
 	for _, budget := range []int{1, 2, 5, 10, 20} {
+		err := workload.Run(eng, queries, batchexec.Options{
+			K: k, Stop: search.ChunkBudget(budget), Overlap: true,
+		}, chunkResults)
+		if err != nil {
+			return nil, err
+		}
 		var recall, secs float64
-		for qi, q := range queries {
-			r, err := s.Search(q, search.Options{K: k, Stop: search.ChunkBudget(budget), Overlap: true})
-			if err != nil {
-				return nil, err
-			}
-			recall += recallOf(qi, r.Neighbors)
-			secs += r.Elapsed.Seconds()
+		for qi := range chunkResults {
+			recall += recallOf(qi, chunkResults[qi].Neighbors)
+			secs += chunkResults[qi].Elapsed.Seconds()
 		}
 		res.Rows = append(res.Rows, ComparatorRow{
 			Method: "chunk-search/SR",

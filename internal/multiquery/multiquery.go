@@ -7,16 +7,26 @@
 //
 // This is the standard voting scheme for local-descriptor recognition
 // (Schmid & Mohr 1997), layered on the chunk-search substrate so the
-// quality/time stop rules apply per descriptor.
+// quality/time stop rules apply per descriptor. The bag of descriptors is
+// a natural batch against one store, so the per-descriptor searches run
+// through the chunk-major batch engine: every chunk wanted by several
+// descriptors this round is decoded once and scanned while hot, and the
+// per-descriptor results live in a pooled arena instead of one allocated
+// Result per descriptor. Per-descriptor stop-rule and simulated-timing
+// semantics are unchanged (the engine charges each descriptor's pipeline
+// exactly the chunks it consumed, in its own rank order).
 package multiquery
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/chunkfile"
 	"repro/internal/search"
+	"repro/internal/search/batchexec"
 	"repro/internal/vec"
 )
 
@@ -58,18 +68,31 @@ type Result struct {
 	ChunksRead int
 }
 
-// Searcher runs multi-descriptor queries against one chunk store.
+// Searcher runs multi-descriptor queries against one chunk store. It is
+// safe for concurrent use.
 type Searcher struct {
-	inner *search.Searcher
+	eng  *batchexec.Engine
+	pool sync.Pool // *[]search.Result: per-descriptor result arena
 }
 
-// New wraps a chunk store.
+// New wraps a chunk store in a fresh batch engine.
 func New(store chunkfile.Store) *Searcher {
-	return &Searcher{inner: search.New(store, nil)}
+	return NewWithEngine(batchexec.New(store, nil))
 }
 
-// Query searches every descriptor of the query image and aggregates
-// votes by source image.
+// NewWithEngine builds a Searcher over an existing batch engine, sharing
+// its arenas with other batch users of the same store.
+func NewWithEngine(eng *batchexec.Engine) *Searcher {
+	s := &Searcher{eng: eng}
+	s.pool.New = func() any {
+		r := []search.Result(nil)
+		return &r
+	}
+	return s
+}
+
+// Query searches every descriptor of the query image as one batch and
+// aggregates votes by source image.
 func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error) {
 	if len(descriptors) == 0 {
 		return nil, fmt.Errorf("multiquery: no query descriptors")
@@ -81,27 +104,40 @@ func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error
 		opts.Stop = search.ChunkBudget(3)
 	}
 
+	rp := s.pool.Get().(*[]search.Result)
+	defer s.pool.Put(rp)
+	if cap(*rp) < len(descriptors) {
+		*rp = make([]search.Result, len(descriptors))
+	}
+	results := (*rp)[:len(descriptors)]
+	err := s.eng.Run(descriptors, batchexec.Options{
+		K:       opts.K,
+		Stop:    opts.Stop,
+		Overlap: opts.Overlap,
+	}, results)
+	if err != nil {
+		var qe *batchexec.QueryError
+		if errors.As(err, &qe) {
+			return nil, fmt.Errorf("multiquery: descriptor %d: %w", qe.Query, qe.Err)
+		}
+		return nil, fmt.Errorf("multiquery: %w", err)
+	}
+
 	type tally struct {
 		score   float64
 		matches int
 	}
 	votes := map[uint32]*tally{}
 	res := &Result{Descriptors: len(descriptors)}
-	for qi, q := range descriptors {
-		sr, err := s.inner.Search(q, search.Options{
-			K:       opts.K,
-			Stop:    opts.Stop,
-			Overlap: opts.Overlap,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("multiquery: descriptor %d: %w", qi, err)
-		}
+	seen := map[uint32]bool{}
+	for qi := range results {
+		sr := &results[qi]
 		res.Simulated += sr.Elapsed
 		res.ChunksRead += sr.ChunksRead
 		// One vote per (descriptor, image): a descriptor matching many
 		// descriptors of one image counts once, preventing a single
 		// repetitive texture from dominating.
-		seen := map[uint32]bool{}
+		clear(seen)
 		for rank, nb := range sr.Neighbors {
 			img := nb.ID.ImageOf()
 			if seen[img] {

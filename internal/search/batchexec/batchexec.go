@@ -1,0 +1,495 @@
+// Package batchexec is the chunk-major batch execution engine for
+// whole-workload searches (the paper runs 1,000-query workloads, §5.3).
+//
+// The single-query path in package search is query-major: each query
+// ranks the chunks, then reads and scans them in its own rank order. Run
+// naively over a workload, the same chunk is read, decoded and streamed
+// through the cache once per query that wants it. This engine inverts
+// the loops: queries are executed in lockstep rounds, and within a round
+// every chunk wanted by at least one live query is read and decoded
+// exactly once, then scanned against all of its wanting queries back to
+// back while its descriptors are hot in cache (the filling-heap queries
+// share one vec.SquaredDistancesMulti kernel call per row block; the
+// full-heap queries run partial-distance early abandonment, exactly as
+// the single-query path would).
+//
+// Per-query semantics are preserved bit for bit, and the equivalence
+// tests pin it:
+//
+//   - Each query processes chunks in its own rank order (RankChunks), one
+//     chunk per round, so neighbor sets, ChunksRead and the Exact flag
+//     match the single-query path exactly.
+//   - Simulated timing is per query: every query owns a simdisk.Pipeline
+//     charged with exactly the chunks it consumed, in its rank order.
+//     Batch code must never share or wall-aggregate simulated time — the
+//     model is one 2005 machine per query.
+//
+// All per-query state (ranked order cursor, suffix bounds, knn.Heap,
+// pipeline) lives in a pooled batch-owned arena, and result neighbor
+// slices are recycled from the caller's results array, so a steady-state
+// batch performs zero allocations. Rounds fan groups out to a lazily
+// started process-wide worker pool (queries of one round are partitioned
+// by wanted chunk, so groups touch disjoint state); the coordinator
+// processes groups inline whenever the pool is saturated, which also
+// keeps Parallelism==1 runs free of any goroutine machinery.
+package batchexec
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/knn"
+	"repro/internal/search"
+	"repro/internal/simdisk"
+	"repro/internal/vec"
+)
+
+// Options configures one batch run. The zero value means k=30,
+// run-to-completion, the engine's model, serial pipeline, and one worker
+// per CPU.
+type Options struct {
+	K    int
+	Stop search.StopRule // must be stateless/concurrency-safe (the built-in rules are)
+	// Model overrides the engine's cost model for this run.
+	Model   *simdisk.Model
+	Overlap bool // overlap I/O with CPU in each query's simulated pipeline
+	// Parallelism caps the concurrency of this run: <=0 means GOMAXPROCS,
+	// 1 runs entirely on the calling goroutine.
+	Parallelism int
+}
+
+// QueryError reports which query of a batch failed.
+type QueryError struct {
+	Query int
+	Err   error
+}
+
+func (e *QueryError) Error() string { return fmt.Sprintf("batchexec: query %d: %v", e.Query, e.Err) }
+
+// Unwrap returns the underlying error.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Engine executes batches against one chunk store. It is safe for
+// concurrent use; concurrent Runs share the process-wide worker pool.
+type Engine struct {
+	store  chunkfile.Store
+	model  *simdisk.Model
+	arenas sync.Pool // *arena
+}
+
+// New returns an Engine over the given store. A nil model selects the
+// calibrated 2005 model.
+func New(store chunkfile.Store, model *simdisk.Model) *Engine {
+	if model == nil {
+		model = simdisk.Default2005()
+	}
+	e := &Engine{store: store, model: model}
+	e.arenas.New = func() any { return &arena{} }
+	return e
+}
+
+// queryState is the per-query execution state for one batch run.
+type queryState struct {
+	q      vec.Vector
+	ranked []search.RankedChunk
+	suffix []float64
+	heap   *knn.Heap
+	pipe   simdisk.Pipeline
+	cursor int // position in ranked of the next chunk this query wants
+	done   bool
+	res    *search.Result
+}
+
+// pair maps one live query to the chunk it wants this round. Rounds sort
+// pairs by (chunk, state): equal-chunk runs form the scan groups, and the
+// state tiebreak makes group membership (and error attribution)
+// deterministic.
+type pair struct {
+	chunk, state int32
+}
+
+// group is one run of equal-chunk pairs: pairs[lo:hi].
+type group struct {
+	lo, hi int32
+}
+
+// workerScratch is the per-goroutine scan state: the decoded chunk and
+// the kernel buffers. Workers own theirs for the life of the process; the
+// coordinator's lives in the arena.
+type workerScratch struct {
+	data  chunkfile.Data
+	d2    []float64 // single-query scan buffer (ScanChunk)
+	fill  []int32   // states of this group whose heap is still filling
+	qflat []float32 // gathered filling-heap queries, Q × dims
+	out   []float64 // SquaredDistancesMulti block output
+}
+
+// arena is the pooled batch-owned state of one run: all query states plus
+// the round scheduling buffers. It doubles as the run context jobs carry
+// to pool workers.
+type arena struct {
+	store chunkfile.Store
+	metas []chunkfile.Meta
+	dims  int
+	stop  search.StopRule
+	start time.Time
+
+	states   []queryState
+	live     []int32
+	nextLive []int32
+	pairs    []pair
+	groups   []group
+	coord    workerScratch
+
+	wg       sync.WaitGroup
+	failed   atomic.Bool
+	mu       sync.Mutex
+	err      error
+	errState int32
+}
+
+// fail records err for the given query, keeping the error of the lowest
+// query index when several groups fail in one round.
+func (a *arena) fail(state int32, err error) {
+	a.failed.Store(true)
+	a.mu.Lock()
+	if a.err == nil || state < a.errState {
+		a.err, a.errState = err, state
+	}
+	a.mu.Unlock()
+}
+
+// Run executes every query against the store, writing result qi into
+// results[qi]. The results array is caller-owned: neighbor slices already
+// present are reused when they have capacity, so recycling one results
+// array across batches (the steady-state serving pattern) performs zero
+// allocations. On error no results are valid.
+func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result) error {
+	if len(queries) == 0 {
+		return nil
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("batchexec: results length %d != queries length %d", len(results), len(queries))
+	}
+	if opts.K <= 0 {
+		opts.K = 30
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ToCompletion{}
+	}
+	model := opts.Model
+	if model == nil {
+		model = e.model
+	}
+	dims := e.store.Dims()
+	for qi, q := range queries {
+		if len(q) != dims {
+			return &QueryError{Query: qi, Err: fmt.Errorf("query dims %d != store dims %d", len(q), dims)}
+		}
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	a := e.arenas.Get().(*arena)
+	defer e.arenas.Put(a)
+	a.store = e.store
+	a.metas = e.store.Meta()
+	a.dims = dims
+	a.stop = opts.Stop
+	a.start = time.Now()
+	a.failed.Store(false)
+	a.err = nil
+
+	indexRead := model.IndexReadTime(len(a.metas), chunkfile.EntrySize(dims))
+
+	// Per-query setup: rank the chunks, compute suffix bounds, reset the
+	// heap and the simulated pipeline, seed the result.
+	if cap(a.states) < len(queries) {
+		states := make([]queryState, len(queries))
+		copy(states, a.states)
+		a.states = states
+	}
+	a.states = a.states[:len(queries)]
+	a.live = a.live[:0]
+	for qi := range queries {
+		st := &a.states[qi]
+		res := &results[qi]
+		neighbors := res.Neighbors[:0]
+		*res = search.Result{Neighbors: neighbors, IndexRead: indexRead, Elapsed: indexRead}
+		st.q = queries[qi]
+		st.ranked = search.RankChunks(st.q, a.metas, st.ranked[:0])
+		st.suffix = search.SuffixBounds(st.ranked, st.suffix[:0])
+		if st.heap == nil {
+			st.heap = knn.NewHeap(opts.K)
+		} else {
+			st.heap.Reset(opts.K)
+		}
+		st.pipe.Reset(model, opts.Overlap, indexRead)
+		st.cursor = 0
+		st.done = false
+		st.res = res
+		if len(st.ranked) == 0 {
+			res.Exact = true // zero chunks: trivially complete
+			a.retire(st)
+		} else {
+			a.live = append(a.live, int32(qi))
+		}
+	}
+
+	// Rounds: each live query wants exactly one chunk (its cursor); group
+	// the round by chunk so every distinct chunk is read and decoded once
+	// and scanned against all of its queries while hot.
+	for len(a.live) > 0 {
+		a.pairs = a.pairs[:0]
+		for _, si := range a.live {
+			st := &a.states[si]
+			a.pairs = append(a.pairs, pair{chunk: int32(st.ranked[st.cursor].Idx), state: si})
+		}
+		slices.SortFunc(a.pairs, func(x, y pair) int {
+			if x.chunk != y.chunk {
+				return int(x.chunk - y.chunk)
+			}
+			return int(x.state - y.state)
+		})
+		a.groups = a.groups[:0]
+		lo := 0
+		for i := 1; i <= len(a.pairs); i++ {
+			if i == len(a.pairs) || a.pairs[i].chunk != a.pairs[lo].chunk {
+				a.groups = append(a.groups, group{lo: int32(lo), hi: int32(i)})
+				lo = i
+			}
+		}
+
+		if workers <= 1 || len(a.groups) == 1 {
+			a.processSpan(&a.coord, 0, int32(len(a.groups)))
+		} else {
+			// Carve the round's groups into one contiguous span per worker,
+			// balanced by query count (group sizes are skewed: many queries
+			// rank the same dense chunk first). Span granularity keeps the
+			// handoff overhead at a few channel operations per round
+			// regardless of how many chunks the round touches.
+			ensurePool()
+			spans := workers
+			if spans > len(a.groups) {
+				spans = len(a.groups)
+			}
+			target := (len(a.pairs) + spans - 1) / spans
+			lo, acc, launched := 0, 0, 0
+			for gi := 0; gi < len(a.groups) && launched < spans-1; gi++ {
+				acc += int(a.groups[gi].hi - a.groups[gi].lo)
+				mustClose := len(a.groups)-gi-1 == spans-launched-1
+				if acc >= target || mustClose {
+					a.dispatchSpan(int32(lo), int32(gi+1))
+					launched++
+					lo, acc = gi+1, 0
+				}
+			}
+			a.dispatchSpan(int32(lo), int32(len(a.groups)))
+			a.wg.Wait()
+		}
+		if a.failed.Load() {
+			err := &QueryError{Query: int(a.errState), Err: a.err}
+			a.release()
+			return err
+		}
+
+		next := a.nextLive[:0]
+		for _, si := range a.live {
+			if !a.states[si].done {
+				next = append(next, si)
+			}
+		}
+		a.live, a.nextLive = next, a.live
+	}
+	a.release()
+	return nil
+}
+
+// release drops the arena's references into caller memory (queries and
+// results) so pooling the arena does not retain them.
+func (a *arena) release() {
+	for i := range a.states {
+		a.states[i].q = nil
+		a.states[i].res = nil
+	}
+}
+
+// processGroup reads and decodes the group's chunk once, scans it for
+// every member query, then charges each member's pipeline and applies the
+// stop rule. Groups of one round touch disjoint query states, so this is
+// safe to run concurrently across groups.
+func (a *arena) processGroup(ws *workerScratch, g group) {
+	members := a.pairs[g.lo:g.hi]
+	chunk := int(members[0].chunk)
+	m := &a.metas[chunk]
+	if err := a.store.ReadChunk(chunk, &ws.data); err != nil {
+		a.fail(members[0].state, err)
+		return
+	}
+	if len(members) == 1 {
+		st := &a.states[members[0].state]
+		ws.d2 = search.ScanChunk(st.q, a.dims, &ws.data, st.heap, ws.d2)
+	} else {
+		a.scanGroup(ws, members)
+	}
+	for _, p := range members {
+		st := &a.states[p.state]
+		res := st.res
+		elapsed := st.pipe.Chunk(m.Bytes, m.Count)
+		res.ChunksRead++
+		res.Elapsed = elapsed
+		pos := st.cursor
+		switch {
+		case a.stop.Done(res.ChunksRead, elapsed, st.heap.Kth(), st.suffix[pos+1]):
+			// Mirror the single-query path exactly: the certificate from the
+			// suffix bound, overridden to true when every chunk was
+			// processed (with an under-filled heap both Kth and the suffix
+			// are +Inf, so the comparison alone would say false).
+			res.Exact = st.suffix[pos+1] > st.heap.Kth() || pos+1 == len(st.ranked)
+			a.retire(st)
+		case pos+1 == len(st.ranked):
+			res.Exact = true // every chunk processed
+			a.retire(st)
+		default:
+			st.cursor++
+		}
+	}
+}
+
+// scanBlock is the row-block granularity of the multi-query kernel: 256
+// 24-d float32 rows are 24 KiB, small enough to stay L1-resident while
+// every filling-heap query of the group streams over them.
+const scanBlock = 256
+
+// scanGroup scans one decoded chunk for several queries. Queries whose
+// k-NN set is still filling need full distances anyway, so they share one
+// SquaredDistancesMulti call per row block — the chunk's rows are loaded
+// once for all of them. Queries with a full heap keep the single-query
+// path's partial-distance early abandonment, back to back while the
+// chunk is hot. Both branches produce the exact heap contents the
+// single-query ScanChunk would.
+func (a *arena) scanGroup(ws *workerScratch, members []pair) {
+	data := &ws.data
+	dims := a.dims
+	n := data.Len()
+
+	ws.fill = ws.fill[:0]
+	for _, p := range members {
+		if !a.states[p.state].heap.Full() {
+			ws.fill = append(ws.fill, p.state)
+		}
+	}
+	if qn := len(ws.fill); qn > 0 {
+		if cap(ws.qflat) < qn*dims {
+			ws.qflat = make([]float32, qn*dims)
+		}
+		qf := ws.qflat[:qn*dims]
+		for i, si := range ws.fill {
+			copy(qf[i*dims:(i+1)*dims], a.states[si].q)
+		}
+		if cap(ws.out) < qn*scanBlock {
+			ws.out = make([]float64, qn*scanBlock)
+		}
+		for r0 := 0; r0 < n; r0 += scanBlock {
+			bn := n - r0
+			if bn > scanBlock {
+				bn = scanBlock
+			}
+			out := ws.out[:qn*bn]
+			vec.SquaredDistancesMulti(qf, data.Vecs[r0*dims:(r0+bn)*dims], dims, out)
+			ids := data.IDs[r0 : r0+bn]
+			for i, si := range ws.fill {
+				h := a.states[si].heap
+				for j, d2 := range out[i*bn : (i+1)*bn] {
+					h.OfferSquared(ids[j], d2)
+				}
+			}
+		}
+	}
+	// Full-heap members: partial-distance scans. ws.fill is a subsequence
+	// of members (both ascend by state), so a merge walk skips the states
+	// already scanned above — including any whose heap filled just now.
+	fi := 0
+	for _, p := range members {
+		if fi < len(ws.fill) && ws.fill[fi] == p.state {
+			fi++
+			continue
+		}
+		st := &a.states[p.state]
+		ws.d2 = search.ScanChunk(st.q, dims, data, st.heap, ws.d2)
+	}
+}
+
+// retire finalizes one query: sorted neighbors into the caller's reused
+// slice, wall time up to this query's completion.
+func (a *arena) retire(st *queryState) {
+	st.res.Neighbors = st.heap.SortedInto(st.res.Neighbors)
+	st.res.Wall = time.Since(a.start)
+	st.done = true
+}
+
+// processSpan runs the contiguous groups[lo:hi] of the current round,
+// bailing out once any group has failed the batch.
+func (a *arena) processSpan(ws *workerScratch, lo, hi int32) {
+	for gi := lo; gi < hi; gi++ {
+		if a.failed.Load() {
+			return
+		}
+		a.processGroup(ws, a.groups[gi])
+	}
+}
+
+// dispatchSpan hands groups[lo:hi] to a pool worker, or runs it inline on
+// the coordinator when the pool is saturated — which both load-balances
+// and rules out deadlock when concurrent batches share the pool.
+func (a *arena) dispatchSpan(lo, hi int32) {
+	if lo >= hi {
+		return
+	}
+	a.wg.Add(1)
+	select {
+	case jobs <- job{a: a, lo: lo, hi: hi}:
+	default:
+		a.processSpan(&a.coord, lo, hi)
+		a.wg.Done()
+	}
+}
+
+// job hands one span of one round's groups to a pool worker.
+type job struct {
+	a      *arena
+	lo, hi int32
+}
+
+// The process-wide worker pool. Workers are started once, on first
+// parallel Run anywhere in the process, and live for the process
+// lifetime (they are idle and allocation-free when no batch is running).
+// Sharing one pool across engines bounds total goroutines, needs no
+// per-engine Close, and lets concurrent batches interleave safely: every
+// job carries its arena, and worker scratch is reusable across stores.
+var (
+	poolOnce sync.Once
+	jobs     chan job
+)
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		jobs = make(chan job)
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				var ws workerScratch
+				for jb := range jobs {
+					jb.a.processSpan(&ws, jb.lo, jb.hi)
+					jb.a.wg.Done()
+				}
+			}()
+		}
+	})
+}

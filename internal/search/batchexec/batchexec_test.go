@@ -1,0 +1,210 @@
+package batchexec
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/imagegen"
+	"repro/internal/search"
+	"repro/internal/srtree"
+	"repro/internal/vec"
+)
+
+// buildStores returns the same chunk index as a MemStore and a FileStore,
+// so every equivalence below is pinned on both backends.
+func buildStores(t *testing.T) (*chunkfile.MemStore, *chunkfile.FileStore, []vec.Vector) {
+	t.Helper()
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(5000, 17))
+	coll := ds.Collection
+	tree, err := srtree.Build(coll, nil, 160, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := chunkfile.NewMemStore(coll, tree.Chunks(), 4096)
+
+	dir := t.TempDir()
+	cp, ip := filepath.Join(dir, "b.chunk"), filepath.Join(dir, "b.idx")
+	if err := chunkfile.Write(coll, tree.Chunks(), cp, ip, 4096); err != nil {
+		t.Fatal(err)
+	}
+	file, err := chunkfile.Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+
+	// 40 dataset queries (descriptors of the collection itself, so they
+	// have close matches) plus 10 perturbed ones with no exact match.
+	queries := make([]vec.Vector, 0, 50)
+	for i := 0; i < 40; i++ {
+		queries = append(queries, coll.Vec(i*117).Clone())
+	}
+	for i := 0; i < 10; i++ {
+		q := coll.Vec(i*331 + 7).Clone()
+		for d := range q {
+			q[d] += float32(d%5) * 3.5
+		}
+		queries = append(queries, q)
+	}
+	return mem, file, queries
+}
+
+// TestBatchMatchesSingleQuery is the engine's core contract: chunk-major
+// batch results are byte-identical to per-query Search results — same
+// neighbor IDs and bit-identical distances (ties included), same
+// ChunksRead, same simulated Elapsed and IndexRead, same Exact flag —
+// for all three stop rules, on both store backends, at every parallelism.
+func TestBatchMatchesSingleQuery(t *testing.T) {
+	mem, file, queries := buildStores(t)
+	stops := []search.StopRule{
+		search.ChunkBudget(3),
+		search.TimeBudget(250 * time.Millisecond),
+		search.ToCompletion{},
+	}
+	stores := []struct {
+		name  string
+		store chunkfile.Store
+	}{{"mem", mem}, {"file", file}}
+
+	for _, sc := range stores {
+		searcher := search.New(sc.store, nil)
+		eng := New(sc.store, nil)
+		for _, stop := range stops {
+			for _, par := range []int{1, 0} {
+				opts := search.Options{K: 20, Stop: stop, Overlap: true}
+				results := make([]search.Result, len(queries))
+				err := eng.Run(queries, Options{K: 20, Stop: stop, Overlap: true, Parallelism: par}, results)
+				if err != nil {
+					t.Fatalf("%s/%v/p%d: %v", sc.name, stop, par, err)
+				}
+				for qi, q := range queries {
+					var want search.Result
+					if err := searcher.SearchInto(q, opts, &want); err != nil {
+						t.Fatal(err)
+					}
+					got := &results[qi]
+					if got.ChunksRead != want.ChunksRead {
+						t.Fatalf("%s/%v/p%d q%d: ChunksRead %d != %d", sc.name, stop, par, qi, got.ChunksRead, want.ChunksRead)
+					}
+					if got.Elapsed != want.Elapsed {
+						t.Fatalf("%s/%v/p%d q%d: Elapsed %v != %v", sc.name, stop, par, qi, got.Elapsed, want.Elapsed)
+					}
+					if got.IndexRead != want.IndexRead {
+						t.Fatalf("%s/%v/p%d q%d: IndexRead %v != %v", sc.name, stop, par, qi, got.IndexRead, want.IndexRead)
+					}
+					if got.Exact != want.Exact {
+						t.Fatalf("%s/%v/p%d q%d: Exact %v != %v", sc.name, stop, par, qi, got.Exact, want.Exact)
+					}
+					if len(got.Neighbors) != len(want.Neighbors) {
+						t.Fatalf("%s/%v/p%d q%d: %d neighbors != %d", sc.name, stop, par, qi, len(got.Neighbors), len(want.Neighbors))
+					}
+					for i := range want.Neighbors {
+						if got.Neighbors[i] != want.Neighbors[i] {
+							t.Fatalf("%s/%v/p%d q%d rank %d: %+v != %+v",
+								sc.name, stop, par, qi, i, got.Neighbors[i], want.Neighbors[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchZeroAlloc pins the arena contract: recycling one results array
+// across batches performs zero allocations per batch in steady state, on
+// both the inline and the pooled-parallel path.
+func TestBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	mem, _, queries := buildStores(t)
+	eng := New(mem, nil)
+	for _, par := range []int{1, 0} {
+		opts := Options{K: 20, Stop: search.ChunkBudget(4), Parallelism: par}
+		results := make([]search.Result, len(queries))
+		// Warm up: grows the arena, worker scratches and neighbor slices.
+		for i := 0; i < 3; i++ {
+			if err := eng.Run(queries, opts, results); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := eng.Run(queries, opts, results); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("parallelism %d: steady-state batch allocates %v per run, want 0", par, allocs)
+		}
+	}
+}
+
+// TestBatchExactUnderfilledHeap pins the edge where the stop rule fires
+// on the very last ranked chunk while the heap is still under-filled (K
+// exceeds the store's descriptor count): both Kth and the suffix bound
+// are +Inf, so the certificate comparison alone says false, but the
+// single-query path reports Exact=true because every chunk was
+// processed. The batch engine must agree.
+func TestBatchExactUnderfilledHeap(t *testing.T) {
+	mem, _, queries := buildStores(t)
+	nchunks := len(mem.Meta())
+	total := 0
+	for _, m := range mem.Meta() {
+		total += m.Count
+	}
+	k := total + 10 // heap can never fill
+	searcher := search.New(mem, nil)
+	eng := New(mem, nil)
+	stop := search.ChunkBudget(nchunks) // Done fires exactly on the last chunk
+	results := make([]search.Result, len(queries))
+	if err := eng.Run(queries, Options{K: k, Stop: stop}, results); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, err := searcher.Search(q, search.Options{K: k, Stop: stop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Exact {
+			t.Fatalf("q%d: single-query path not exact (%d chunks)", qi, want.ChunksRead)
+		}
+		if results[qi].Exact != want.Exact {
+			t.Fatalf("q%d: Exact %v != %v", qi, results[qi].Exact, want.Exact)
+		}
+		if len(results[qi].Neighbors) != len(want.Neighbors) {
+			t.Fatalf("q%d: %d neighbors != %d", qi, len(results[qi].Neighbors), len(want.Neighbors))
+		}
+	}
+}
+
+// TestBatchQueryError verifies a bad query fails the whole batch with a
+// QueryError naming the offending query.
+func TestBatchQueryError(t *testing.T) {
+	mem, _, queries := buildStores(t)
+	eng := New(mem, nil)
+	bad := make([]vec.Vector, len(queries))
+	copy(bad, queries)
+	bad[3] = make(vec.Vector, mem.Dims()+1)
+	results := make([]search.Result, len(bad))
+	err := eng.Run(bad, Options{K: 10}, results)
+	var qe *QueryError
+	if !errors.As(err, &qe) || qe.Query != 3 {
+		t.Fatalf("want QueryError for query 3, got %v", err)
+	}
+}
+
+// TestBatchEdges: empty batches are no-ops and mismatched results arrays
+// are rejected.
+func TestBatchEdges(t *testing.T) {
+	mem, _, queries := buildStores(t)
+	eng := New(mem, nil)
+	if err := eng.Run(nil, Options{}, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := eng.Run(queries, Options{}, make([]search.Result, 1)); err == nil {
+		t.Fatal("mismatched results length accepted")
+	}
+}

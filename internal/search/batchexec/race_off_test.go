@@ -1,0 +1,5 @@
+//go:build !race
+
+package batchexec
+
+const raceEnabled = false

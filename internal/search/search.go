@@ -19,6 +19,15 @@
 // the k-NN heap) lives in a pooled scratch, so the steady-state query
 // path performs no allocations.
 //
+// The algorithm's three primitives — RankChunks (step 1), SuffixBounds
+// (the exactness certificate) and ScanChunk (step 2's adaptive scan) —
+// are exported so the chunk-major batch engine in the batchexec
+// subpackage executes the very same code per query that Search does:
+// whole-workload batch results stay byte-identical to per-query results
+// by construction, the batch engine merely reorders which chunk is
+// decoded when. Any change to the query algorithm must go through these
+// primitives, never be re-implemented on one side only.
+//
 // Elapsed time is tracked on the simdisk cost model so the paper's 2005
 // wall-clock magnitudes are reproduced deterministically; real wall time
 // is measured as well.
@@ -117,18 +126,62 @@ type Result struct {
 	Exact      bool          // true if the exact stop condition held at the end
 }
 
-// rankedChunk is one chunk in the query's processing order.
-type rankedChunk struct {
-	idx   int     // position in the store
-	d2    float64 // squared centroid distance (ranking key)
-	bound float64 // true-distance lower bound: max(0, dist - radius)
+// RankedChunk is one chunk in a query's processing order.
+type RankedChunk struct {
+	Idx   int     // position in the store
+	D2    float64 // squared centroid distance (ranking key)
+	Bound float64 // true-distance lower bound: max(0, dist - radius)
+}
+
+// RankChunks appends one RankedChunk per store chunk to ranked (reusing
+// its capacity; pass ranked[:0] to recycle a buffer) and sorts the result
+// by (squared centroid distance, ascending chunk index) — step 1 of the
+// paper's algorithm. Squared distances order the ranking; one sqrt per
+// chunk converts to the true-distance lower bound the stop rules consume.
+func RankChunks(q vec.Vector, metas []chunkfile.Meta, ranked []RankedChunk) []RankedChunk {
+	for i := range metas {
+		m := &metas[i]
+		d2 := vec.SquaredDistance(q, m.Centroid)
+		lb := math.Sqrt(d2) - m.Radius
+		if lb < 0 {
+			lb = 0
+		}
+		ranked = append(ranked, RankedChunk{Idx: i, D2: d2, Bound: lb})
+	}
+	slices.SortFunc(ranked, func(a, b RankedChunk) int {
+		switch {
+		case a.D2 < b.D2:
+			return -1
+		case a.D2 > b.D2:
+			return 1
+		}
+		return a.Idx - b.Idx
+	})
+	return ranked
+}
+
+// SuffixBounds fills suffix (reusing its capacity; pass suffix[:0]) with
+// the suffix minima over the ranked lower bounds: suffix[i] is the lowest
+// true distance any chunk in ranked[i:] could contain, +Inf past the end.
+// suffix[i+1] is the remainingBound consulted by the stop rule after
+// processing ranked[i], and the exactness certificate.
+func SuffixBounds(ranked []RankedChunk, suffix []float64) []float64 {
+	n := len(ranked) + 1
+	if cap(suffix) < n {
+		suffix = make([]float64, n)
+	}
+	suffix = suffix[:n]
+	suffix[n-1] = math.Inf(1)
+	for i := n - 2; i >= 0; i-- {
+		suffix[i] = math.Min(suffix[i+1], ranked[i].Bound)
+	}
+	return suffix
 }
 
 // scratch is the reusable per-query state. Searchers pool scratches so
-// concurrent SearchBatch workers never allocate per query in steady
-// state.
+// concurrent callers never allocate per query in steady state.
 type scratch struct {
-	ranked []rankedChunk
+	ranked []RankedChunk
 	suffix []float64 // suffix minima over ranked bounds (true distances)
 	d2     []float64 // batch-kernel output for one chunk
 	data   chunkfile.Data
@@ -193,39 +246,12 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 
-	// Step 1: global ranking of chunks by centroid distance. Squared
-	// distances order the ranking; one sqrt per chunk converts to the
-	// true-distance lower bound the stop rule consumes.
-	if cap(sc.ranked) < len(metas) {
-		sc.ranked = make([]rankedChunk, len(metas))
-	}
-	ranked := sc.ranked[:len(metas)]
-	for i, m := range metas {
-		d2 := vec.SquaredDistance(q, m.Centroid)
-		lb := math.Sqrt(d2) - m.Radius
-		if lb < 0 {
-			lb = 0
-		}
-		ranked[i] = rankedChunk{idx: i, d2: d2, bound: lb}
-	}
-	slices.SortFunc(ranked, func(a, b rankedChunk) int {
-		switch {
-		case a.d2 < b.d2:
-			return -1
-		case a.d2 > b.d2:
-			return 1
-		}
-		return a.idx - b.idx
-	})
-	// suffix[i] = min lower bound over ranked[i:]; +Inf past the end.
-	if cap(sc.suffix) < len(ranked)+1 {
-		sc.suffix = make([]float64, len(ranked)+1)
-	}
-	suffix := sc.suffix[:len(ranked)+1]
-	suffix[len(ranked)] = math.Inf(1)
-	for i := len(ranked) - 1; i >= 0; i-- {
-		suffix[i] = math.Min(suffix[i+1], ranked[i].bound)
-	}
+	// Step 1: global ranking of chunks by centroid distance, plus the
+	// suffix minima the stop rule and exactness certificate consume.
+	sc.ranked = RankChunks(q, metas, sc.ranked[:0])
+	ranked := sc.ranked
+	sc.suffix = SuffixBounds(ranked, sc.suffix[:0])
+	suffix := sc.suffix
 
 	indexRead := model.IndexReadTime(len(metas), chunkfile.EntrySize(dims))
 	sc.pipe.Reset(model, opts.Overlap, indexRead)
@@ -237,11 +263,11 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 
 	for pos := range ranked {
 		rc := &ranked[pos]
-		m := &metas[rc.idx]
-		if err := s.store.ReadChunk(rc.idx, &sc.data); err != nil {
+		m := &metas[rc.Idx]
+		if err := s.store.ReadChunk(rc.Idx, &sc.data); err != nil {
 			return err
 		}
-		s.scanChunk(q, dims, &sc.data, heap, sc)
+		sc.d2 = ScanChunk(q, dims, &sc.data, heap, sc.d2)
 		elapsed := sc.pipe.Chunk(m.Bytes, m.Count)
 		res.ChunksRead++
 		res.Elapsed = elapsed
@@ -250,7 +276,7 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 			sc.events = heap.AppendAll(sc.events[:0])
 			opts.Trace(Event{
 				Ordinal:    pos + 1,
-				ChunkIndex: rc.idx,
+				ChunkIndex: rc.Idx,
 				ChunkCount: m.Count,
 				Elapsed:    elapsed,
 				Neighbors:  sc.events,
@@ -270,28 +296,33 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 	return nil
 }
 
-// scanChunk offers every descriptor of the chunk to the heap. While the
-// heap is still filling, the batch kernel computes all squared distances
-// over the chunk's contiguous backing array; once a k-th bound exists,
-// per-descriptor partial distances abandon as soon as the running sum
-// exceeds it.
-func (s *Searcher) scanChunk(q vec.Vector, dims int, data *chunkfile.Data, heap *knn.Heap, sc *scratch) {
+// ScanChunk offers every descriptor of the chunk to the heap — step 2 of
+// the paper's algorithm. While the heap is still filling, the batch
+// kernel computes all squared distances over the chunk's contiguous
+// backing array; once a k-th bound exists, per-descriptor partial
+// distances abandon as soon as the running sum exceeds it. The d2 scratch
+// is reused when large enough and the (possibly grown) buffer is
+// returned, so steady-state callers never allocate. The final heap
+// contents do not depend on which branch ran: abandoned candidates are
+// exactly those the heap would reject.
+func ScanChunk(q vec.Vector, dims int, data *chunkfile.Data, heap *knn.Heap, d2 []float64) []float64 {
 	n := data.Len()
 	vecs := data.Vecs
-	if heap.Len() < heap.K() {
-		if cap(sc.d2) < n {
-			sc.d2 = make([]float64, n)
+	if !heap.Full() {
+		if cap(d2) < n {
+			d2 = make([]float64, n)
 		}
-		d2s := sc.d2[:n]
+		d2s := d2[:n]
 		vec.SquaredDistancesTo(q, vecs, dims, d2s)
-		for r, d2 := range d2s {
-			heap.OfferSquared(data.IDs[r], d2)
+		for r, v := range d2s {
+			heap.OfferSquared(data.IDs[r], v)
 		}
-		return
+		return d2
 	}
 	for r := 0; r < n; r++ {
 		row := vec.Vector(vecs[r*dims : (r+1)*dims])
-		d2 := vec.PartialSquaredDistance(q, row, heap.Kth2())
-		heap.OfferSquared(data.IDs[r], d2)
+		v := vec.PartialSquaredDistance(q, row, heap.Kth2())
+		heap.OfferSquared(data.IDs[r], v)
 	}
+	return d2
 }

@@ -88,6 +88,32 @@ func SquaredDistancesTo(q Vector, backing []float32, dims int, out []float64) {
 	}
 }
 
+// SquaredDistancesMulti computes the squared distance from every query of
+// the flattened queries array (len(queries)/dims queries of dims float32s
+// each) to every row of backing (the layout of chunkfile.Data.Vecs),
+// writing the distances for query qi to out[qi*n : (qi+1)*n] where n is
+// the row count of backing. It is the batch engine's kernel: the rows of
+// one chunk stay hot in cache while Q queries scan them (callers pass
+// row blocks small enough to fit in L1). Every out value is bit-identical
+// to SquaredDistance(query_qi, row_i) because the kernel delegates to the
+// same accumulation scheme as every other kernel in this file.
+func SquaredDistancesMulti(queries, backing []float32, dims int, out []float64) {
+	if dims <= 0 || len(queries)%dims != 0 {
+		panic(fmt.Sprintf("vec: queries length %d is not a multiple of dims %d", len(queries), dims))
+	}
+	if len(backing)%dims != 0 {
+		panic(fmt.Sprintf("vec: backing length %d is not a multiple of dims %d", len(backing), dims))
+	}
+	nq := len(queries) / dims
+	n := len(backing) / dims
+	if len(out) < nq*n {
+		panic(fmt.Sprintf("vec: out length %d < %d queries × %d rows", len(out), nq, n))
+	}
+	for qi := 0; qi < nq; qi++ {
+		SquaredDistancesTo(Vector(queries[qi*dims:(qi+1)*dims]), backing, dims, out[qi*n:(qi+1)*n])
+	}
+}
+
 // PartialSquaredDistance computes the squared distance between a and b,
 // abandoning early once the partial sum exceeds bound (a squared
 // distance). When the true squared distance is ≤ bound the exact value is

@@ -75,6 +75,57 @@ func TestKernelsBitIdentical(t *testing.T) {
 	}
 }
 
+// TestMultiKernelBitIdentical pins the batch engine's kernel to the
+// single-query kernels: for every (query, row) pair, SquaredDistancesMulti
+// writes exactly the value SquaredDistance returns, at every query count
+// and row-block shape.
+func TestMultiKernelBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 4, 11, 24, 37} {
+		for _, nq := range []int{1, 2, 5} {
+			const rows = 23
+			queries := make([]float32, 0, nq*d)
+			qvecs := make([]Vector, nq)
+			for i := range qvecs {
+				qvecs[i] = randVec(r, d)
+				queries = append(queries, qvecs[i]...)
+			}
+			backing := make([]float32, 0, rows*d)
+			vecs := make([]Vector, rows)
+			for i := range vecs {
+				vecs[i] = randVec(r, d)
+				backing = append(backing, vecs[i]...)
+			}
+			out := make([]float64, nq*rows)
+			SquaredDistancesMulti(queries, backing, d, out)
+			for qi, q := range qvecs {
+				for i, v := range vecs {
+					if ref := SquaredDistance(q, v); out[qi*rows+i] != ref {
+						t.Fatalf("dims %d q%d row %d: multi %x vs pairwise %x", d, qi, i, out[qi*rows+i], ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiKernelPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ragged queries": func() { SquaredDistancesMulti(make([]float32, 7), make([]float32, 8), 4, make([]float64, 4)) },
+		"ragged backing": func() { SquaredDistancesMulti(make([]float32, 8), make([]float32, 7), 4, make([]float64, 4)) },
+		"short out":      func() { SquaredDistancesMulti(make([]float32, 8), make([]float32, 8), 4, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 // TestPartialAbandons asserts the abandonment contract: with a bound below
 // the true squared distance, the returned value strictly exceeds the bound.
 func TestPartialAbandons(t *testing.T) {

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/vec"
+)
+
+// Run executes a whole query workload through the chunk-major batch
+// engine, writing the outcome of queries[qi] into results[qi] (the
+// engine enforces len(results) == len(queries)). The results array is
+// caller-owned and reusable across runs (its neighbor slices are
+// recycled), so sweeping one workload over many stop rules — the shape
+// of every figure in the paper — allocates nothing per sweep point in
+// steady state. Results are byte-identical to running each query through
+// search.Searcher individually.
+func Run(eng *batchexec.Engine, queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
+	return eng.Run(queries, opts, results)
+}
+
+// Stats aggregates one workload execution.
+type Stats struct {
+	Queries    int
+	ChunksRead int           // total chunks processed across queries
+	Simulated  time.Duration // summed per-query simulated time
+	Exact      int           // queries whose result was provably exact
+}
+
+// Summarize folds per-query results into workload-level statistics.
+func Summarize(results []search.Result) Stats {
+	st := Stats{Queries: len(results)}
+	for i := range results {
+		st.ChunksRead += results[i].ChunksRead
+		st.Simulated += results[i].Elapsed
+		if results[i].Exact {
+			st.Exact++
+		}
+	}
+	return st
+}
+
+// MeanSimulated returns the average simulated seconds per query.
+func (s Stats) MeanSimulated() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return s.Simulated.Seconds() / float64(s.Queries)
+}
+
+// MeanChunks returns the average chunks read per query.
+func (s Stats) MeanChunks() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.ChunksRead) / float64(s.Queries)
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/chunkfile"
+	"repro/internal/imagegen"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/srtree"
+)
+
+// TestRunMatchesPerQuery: executing a workload through the batch engine
+// returns exactly the per-query results, and Summarize folds them.
+func TestRunMatchesPerQuery(t *testing.T) {
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(3000, 31))
+	coll := ds.Collection
+	tree, err := srtree.Build(coll, nil, 120, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := chunkfile.NewMemStore(coll, tree.Chunks(), 4096)
+	queries, err := DQ(coll, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := batchexec.New(store, nil)
+	results := make([]search.Result, len(queries))
+	opts := batchexec.Options{K: 10, Stop: search.ChunkBudget(3)}
+	if err := Run(eng, queries, opts, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(eng, queries, opts, results[:1]); err == nil {
+		t.Fatal("mismatched results length accepted")
+	}
+
+	searcher := search.New(store, nil)
+	st := Summarize(results)
+	if st.Queries != len(queries) {
+		t.Fatalf("Queries = %d", st.Queries)
+	}
+	var chunks int
+	for qi, q := range queries {
+		want, err := searcher.Search(q, search.Options{K: 10, Stop: search.ChunkBudget(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks += want.ChunksRead
+		if results[qi].Elapsed != want.Elapsed || results[qi].ChunksRead != want.ChunksRead {
+			t.Fatalf("q%d: batch (%v, %d) != per-query (%v, %d)",
+				qi, results[qi].Elapsed, results[qi].ChunksRead, want.Elapsed, want.ChunksRead)
+		}
+		for i := range want.Neighbors {
+			if results[qi].Neighbors[i] != want.Neighbors[i] {
+				t.Fatalf("q%d rank %d: neighbors diverge", qi, i)
+			}
+		}
+	}
+	if st.ChunksRead != chunks {
+		t.Fatalf("Summarize chunks %d != %d", st.ChunksRead, chunks)
+	}
+	if st.MeanChunks() != float64(chunks)/float64(len(queries)) {
+		t.Fatalf("MeanChunks = %v", st.MeanChunks())
+	}
+	if st.Exact != 0 && st.Exact > len(queries) {
+		t.Fatalf("Exact = %d", st.Exact)
+	}
+}

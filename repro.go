@@ -22,6 +22,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bag"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/roundrobin"
 	"repro/internal/scan"
 	"repro/internal/search"
+	"repro/internal/search/batchexec"
 	"repro/internal/simdisk"
 	"repro/internal/srtree"
 	"repro/internal/vec"
@@ -117,6 +119,10 @@ type BuildConfig struct {
 type Index struct {
 	store    chunkfile.Store
 	searcher *search.Searcher
+	engine   *batchexec.Engine    // chunk-major batch execution engine
+	multi    *multiquery.Searcher // multi-descriptor search over the engine
+
+	batchPool sync.Pool // *[]search.Result: SearchBatchInto's internal arena
 
 	coll     *Collection        // nil for file-opened indexes
 	clusters []*cluster.Cluster // nil for file-opened indexes
@@ -124,6 +130,24 @@ type Index struct {
 	// Outliers holds the collection positions BAG discarded (empty for
 	// the other strategies and for file-opened indexes).
 	Outliers []int
+}
+
+// newIndex assembles an Index over a store: the single-query searcher,
+// the chunk-major batch engine, and the multi-descriptor searcher that
+// shares the engine.
+func newIndex(store chunkfile.Store) *Index {
+	eng := batchexec.New(store, nil)
+	ix := &Index{
+		store:    store,
+		searcher: search.New(store, nil),
+		engine:   eng,
+		multi:    multiquery.NewWithEngine(eng),
+	}
+	ix.batchPool.New = func() any {
+		s := []search.Result(nil)
+		return &s
+	}
+	return ix
 }
 
 // Build forms chunks from the collection with the selected strategy and
@@ -174,13 +198,11 @@ func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
 		return nil, fmt.Errorf("repro: unknown strategy %q", cfg.Strategy)
 	}
 	store := chunkfile.NewMemStore(coll, clusters, cfg.PageSize)
-	return &Index{
-		store:    store,
-		searcher: search.New(store, nil),
-		coll:     coll,
-		clusters: clusters,
-		Outliers: outliers,
-	}, nil
+	ix := newIndex(store)
+	ix.coll = coll
+	ix.clusters = clusters
+	ix.Outliers = outliers
+	return ix, nil
 }
 
 // Save writes the index's two files (§4.2: chunk file + index file).
@@ -198,7 +220,7 @@ func Open(chunkPath, indexPath string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{store: st, searcher: search.New(st, nil)}, nil
+	return newIndex(st), nil
 }
 
 // Close releases the index's resources.
@@ -249,17 +271,23 @@ func (ix *Index) Search(q Vector, opts SearchOptions) (*Result, error) {
 	return res, nil
 }
 
+// stopRule maps SearchOptions onto the paper's three stop rules.
+func stopRule(opts SearchOptions) search.StopRule {
+	if opts.MaxChunks > 0 {
+		return search.ChunkBudget(opts.MaxChunks)
+	}
+	if opts.MaxTime > 0 {
+		return search.TimeBudget(opts.MaxTime)
+	}
+	return search.ToCompletion{}
+}
+
 // SearchInto runs one query, writing the outcome into res. The Neighbors
 // slice already in res is reused when it has capacity: a caller recycling
 // one Result across queries (the steady-state serving pattern) performs
 // zero allocations per query.
 func (ix *Index) SearchInto(q Vector, opts SearchOptions, res *Result) error {
-	var stop search.StopRule = search.ToCompletion{}
-	if opts.MaxChunks > 0 {
-		stop = search.ChunkBudget(opts.MaxChunks)
-	} else if opts.MaxTime > 0 {
-		stop = search.TimeBudget(opts.MaxTime)
-	}
+	stop := stopRule(opts)
 	var sr search.Result
 	sr.Neighbors = res.Neighbors
 	if err := ix.searcher.SearchInto(q, search.Options{
@@ -298,13 +326,15 @@ type MultiResult = multiquery.Result
 
 // MultiSearch implements the paper's §7 follow-up: query with a whole
 // image's bag of local descriptors, aggregate per-descriptor approximate
-// searches into image votes, and return the ranked source images.
+// searches into image votes, and return the ranked source images. The
+// bag of descriptors is a natural batch against one store, so it runs on
+// the index's chunk-major batch engine.
 func (ix *Index) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
 	maxChunks := opts.MaxChunks
 	if maxChunks <= 0 {
 		maxChunks = 3
 	}
-	return multiquery.New(ix.store).Query(descriptors, multiquery.Options{
+	return ix.multi.Query(descriptors, multiquery.Options{
 		K:            opts.K,
 		Stop:         search.ChunkBudget(maxChunks),
 		RankWeighted: opts.RankWeighted,
