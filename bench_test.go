@@ -309,3 +309,54 @@ func BenchmarkMultiSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedBatchInto measures the scatter-gather batch path on a
+// 4-shard index: the 200-query workload runs on every shard's chunk-major
+// engine concurrently, per-shard budget 5, merged per query.
+func BenchmarkShardedBatchInto(b *testing.B) {
+	lab := getBenchLab(b)
+	sx, err := BuildSharded(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sx.Close()
+	queries, err := DatasetQueries(lab.Coll, 200, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := BatchOptions{SearchOptions: SearchOptions{K: 30, MaxChunks: 5}}
+	results := make([]Result, len(queries))
+	if err := sx.SearchBatchInto(queries, opts, results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sx.SearchBatchInto(queries, opts, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedSingleQuery measures one run-to-completion query
+// scattered across 4 shards and merged.
+func BenchmarkShardedSingleQuery(b *testing.B) {
+	lab := getBenchLab(b)
+	sx, err := BuildSharded(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sx.Close()
+	q := lab.Coll.Vec(17)
+	var res Result
+	if err := sx.SearchInto(q, SearchOptions{K: 30}, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sx.SearchInto(q, SearchOptions{K: 30}, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

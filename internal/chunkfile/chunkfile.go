@@ -43,6 +43,21 @@ type Meta struct {
 // dimensionality: centroid + radius + offset + bytes + count.
 func EntrySize(dims int) int { return dims*4 + 8 + 8 + 4 + 4 }
 
+// RecordSize returns the on-disk size of one descriptor record: a 4-byte
+// ID followed by dims float32 components.
+func RecordSize(dims int) int { return 4 + dims*4 }
+
+// PaddedBytes returns the padded on-disk size of a chunk of count
+// descriptors: the raw records rounded up to full pages. This is the
+// balancing weight the shard partitioner uses, and exactly the Bytes
+// value Write and NewMemStore record per chunk.
+func PaddedBytes(count, dims, pageSize int) int {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return pageCeil(count*RecordSize(dims), pageSize)
+}
+
 // Data is the decoded payload of one chunk. Callers must treat IDs and
 // Vecs as read-only: depending on the Store they may alias store-owned
 // memory (MemStore) or buffers reused by the next ReadChunk (FileStore).
@@ -123,7 +138,7 @@ func Write(coll *descriptor.Collection, clusters []*cluster.Cluster, chunkPath, 
 	}
 
 	metas := make([]Meta, len(clusters))
-	rec := make([]byte, 4+dims*4)
+	rec := make([]byte, RecordSize(dims))
 	for ci, cl := range clusters {
 		raw := cl.Count() * len(rec)
 		padded := pageCeil(raw, pageSize)
@@ -221,6 +236,8 @@ func padTo(w *bufio.Writer, from, to int) error {
 var (
 	ErrBadMagic = errors.New("chunkfile: bad magic")
 	ErrChunkOOB = errors.New("chunkfile: chunk index out of range")
+	// ErrClosed is returned by ReadChunk on a closed store.
+	ErrClosed = errors.New("chunkfile: store is closed")
 )
 
 // FileStore reads a chunk index from its two files.
@@ -263,7 +280,42 @@ func Open(chunkPath, indexPath string) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("chunkfile: chunk file has %d chunks, index has %d", nc, len(metas))
 	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("chunkfile: stat chunk file: %w", err)
+	}
+	if err := validateMetas(metas, dims, page, fi.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return &FileStore{f: f, dims: dims, page: page, metas: metas}, nil
+}
+
+// validateMetas cross-checks every index entry against the chunk file's
+// recorded page size and actual size, so a corrupt or hostile index file
+// fails at open time with a clear error instead of surfacing as ReadAt
+// errors — or oversized allocations — in the middle of a query.
+func validateMetas(metas []Meta, dims, page int, fileSize int64) error {
+	if page <= 0 {
+		return fmt.Errorf("chunkfile: invalid page size %d", page)
+	}
+	headerEnd := int64(pageCeil(8+12, page))
+	for i := range metas {
+		m := &metas[i]
+		if m.Count < 0 || m.Bytes < 0 {
+			return fmt.Errorf("chunkfile: chunk %d: negative count %d or size %d", i, m.Count, m.Bytes)
+		}
+		if raw := m.Count * RecordSize(dims); raw > m.Bytes {
+			return fmt.Errorf("chunkfile: chunk %d: %d records need %d bytes, index records only %d",
+				i, m.Count, raw, m.Bytes)
+		}
+		if m.Offset < headerEnd || m.Offset+int64(m.Bytes) > fileSize {
+			return fmt.Errorf("chunkfile: chunk %d: extent [%d, %d) outside chunk file data [%d, %d)",
+				i, m.Offset, m.Offset+int64(m.Bytes), headerEnd, fileSize)
+		}
+	}
+	return nil
 }
 
 func readIndex(path string) ([]Meta, int, error) {
@@ -304,6 +356,9 @@ func readIndex(path string) ([]Meta, int, error) {
 // Dims implements Store.
 func (s *FileStore) Dims() int { return s.dims }
 
+// PageSize returns the page granularity recorded in the chunk file header.
+func (s *FileStore) PageSize() int { return s.page }
+
 // Meta implements Store.
 func (s *FileStore) Meta() []Meta { return s.metas }
 
@@ -321,6 +376,9 @@ func (s *FileStore) ReadChunk(i int, data *Data) error {
 	}
 	buf := data.buf[:m.Bytes]
 	if _, err := s.f.ReadAt(buf, m.Offset); err != nil {
+		if errors.Is(err, os.ErrClosed) {
+			return fmt.Errorf("chunkfile: chunk %d: %w", i, ErrClosed)
+		}
 		return fmt.Errorf("chunkfile: chunk %d: %w", i, err)
 	}
 	decode(buf, m.Count, s.dims, data)
@@ -364,7 +422,7 @@ func NewMemStore(coll *descriptor.Collection, clusters []*cluster.Cluster, pageS
 	dims := coll.Dims()
 	s := &MemStore{dims: dims}
 	offset := int64(pageSize)
-	rec := 4 + dims*4
+	rec := RecordSize(dims)
 	for _, cl := range clusters {
 		raw := cl.Count() * rec
 		padded := pageCeil(raw, pageSize)
@@ -398,6 +456,9 @@ func (s *MemStore) Meta() []Meta { return s.metas }
 // memory (no copy): Data is read-only by contract, and skipping the copy
 // keeps the in-memory hot path at zero bytes moved per chunk.
 func (s *MemStore) ReadChunk(i int, data *Data) error {
+	if s.closed {
+		return fmt.Errorf("chunkfile: chunk %d: %w", i, ErrClosed)
+	}
 	if i < 0 || i >= len(s.metas) {
 		return ErrChunkOOB
 	}

@@ -1,0 +1,223 @@
+// Sharded on-disk layout: the single chunk/index file pair of §4.2 grows
+// to one pair per shard plus a manifest. The manifest records the
+// dimensionality, the page size every shard was padded with, and the
+// per-shard file names and chunk counts, so OpenSharded can validate each
+// pair against what SaveSharded wrote before any query touches it.
+package chunkfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+)
+
+const manifestMagic = "EFF2SMFT"
+
+// ManifestName is the manifest's file name inside a sharded index
+// directory.
+const ManifestName = "manifest"
+
+// ShardFiles names one shard's file pair, relative to the manifest's
+// directory.
+type ShardFiles struct {
+	ChunkFile string
+	IndexFile string
+	Chunks    int // chunk count, validated on open
+}
+
+// Manifest describes a sharded index directory.
+type Manifest struct {
+	Dims     int
+	PageSize int
+	Shards   []ShardFiles
+}
+
+// SaveSharded writes a sharded index into dir: one shard-<i>.chunk /
+// shard-<i>.idx pair per shard (each a regular §4.2 two-file index over
+// that shard's clusters) plus the manifest tying them together. All
+// shards share one page size so the per-shard simulated timings stay
+// comparable.
+func SaveSharded(coll *descriptor.Collection, shards [][]*cluster.Cluster, dir string, pageSize int) error {
+	if len(shards) == 0 {
+		return errors.New("chunkfile: no shards to save")
+	}
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	m := &Manifest{Dims: coll.Dims(), PageSize: pageSize}
+	for i, clusters := range shards {
+		sf := ShardFiles{
+			ChunkFile: fmt.Sprintf("shard-%d.chunk", i),
+			IndexFile: fmt.Sprintf("shard-%d.idx", i),
+			Chunks:    len(clusters),
+		}
+		err := Write(coll, clusters, filepath.Join(dir, sf.ChunkFile), filepath.Join(dir, sf.IndexFile), pageSize)
+		if err != nil {
+			return fmt.Errorf("chunkfile: shard %d: %w", i, err)
+		}
+		m.Shards = append(m.Shards, sf)
+	}
+	return WriteManifest(filepath.Join(dir, ManifestName), m)
+}
+
+// OpenSharded opens every shard named by the manifest in dir, returning
+// one FileStore per shard in shard order. Each pair is cross-checked
+// against the manifest (dimensionality, page size, chunk count) on top of
+// the pair's own open-time validation; any failure closes the stores
+// already opened.
+func OpenSharded(dir string) ([]*FileStore, *Manifest, error) {
+	m, err := ReadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	stores := make([]*FileStore, 0, len(m.Shards))
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	for i, sf := range m.Shards {
+		st, err := Open(filepath.Join(dir, sf.ChunkFile), filepath.Join(dir, sf.IndexFile))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("chunkfile: shard %d: %w", i, err)
+		}
+		switch {
+		case st.Dims() != m.Dims:
+			err = fmt.Errorf("dims %d != manifest dims %d", st.Dims(), m.Dims)
+		case st.PageSize() != m.PageSize:
+			err = fmt.Errorf("page size %d != manifest page size %d", st.PageSize(), m.PageSize)
+		case len(st.Meta()) != sf.Chunks:
+			err = fmt.Errorf("%d chunks != manifest's %d", len(st.Meta()), sf.Chunks)
+		}
+		if err != nil {
+			st.Close()
+			closeAll()
+			return nil, nil, fmt.Errorf("chunkfile: shard %d: %w", i, err)
+		}
+		stores = append(stores, st)
+	}
+	return stores, m, nil
+}
+
+// WriteManifest writes the manifest to path.
+func WriteManifest(path string, m *Manifest) error {
+	if len(m.Shards) == 0 {
+		return errors.New("chunkfile: manifest has no shards")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(manifestMagic); err != nil {
+		return err
+	}
+	writeU32 := func(v int) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		_, err := w.Write(b[:])
+		return err
+	}
+	writeStr := func(s string) error {
+		if err := writeU32(len(s)); err != nil {
+			return err
+		}
+		_, err := w.WriteString(s)
+		return err
+	}
+	if err := errors.Join(writeU32(m.Dims), writeU32(m.PageSize), writeU32(len(m.Shards))); err != nil {
+		return err
+	}
+	for _, sf := range m.Shards {
+		if err := errors.Join(writeU32(sf.Chunks), writeStr(sf.ChunkFile), writeStr(sf.IndexFile)); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadManifest reads a manifest written by WriteManifest.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 20 || string(raw[:8]) != manifestMagic {
+		return nil, ErrBadMagic
+	}
+	o := 8
+	readU32 := func() (int, error) {
+		if o+4 > len(raw) {
+			return 0, fmt.Errorf("chunkfile: manifest truncated at byte %d", o)
+		}
+		v := int(binary.LittleEndian.Uint32(raw[o : o+4]))
+		o += 4
+		return v, nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n < 0 || o+n > len(raw) {
+			return "", fmt.Errorf("chunkfile: manifest truncated at byte %d", o)
+		}
+		s := string(raw[o : o+n])
+		o += n
+		return s, nil
+	}
+	m := &Manifest{}
+	if m.Dims, err = readU32(); err != nil {
+		return nil, err
+	}
+	if m.PageSize, err = readU32(); err != nil {
+		return nil, err
+	}
+	if m.Dims <= 0 || m.PageSize <= 0 {
+		return nil, fmt.Errorf("chunkfile: manifest dims %d / page size %d invalid", m.Dims, m.PageSize)
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > len(raw) { // each shard entry takes well over one byte
+		return nil, fmt.Errorf("chunkfile: manifest shard count %d invalid", n)
+	}
+	for i := 0; i < n; i++ {
+		var sf ShardFiles
+		if sf.Chunks, err = readU32(); err != nil {
+			return nil, err
+		}
+		if sf.ChunkFile, err = readStr(); err != nil {
+			return nil, err
+		}
+		if sf.IndexFile, err = readStr(); err != nil {
+			return nil, err
+		}
+		if sf.Chunks < 0 {
+			return nil, fmt.Errorf("chunkfile: manifest shard %d entry invalid", i)
+		}
+		// File names must stay inside the manifest's directory: reject
+		// absolute paths, ".." traversal and empty names, so a hostile
+		// manifest cannot make OpenSharded read outside its index dir.
+		if !filepath.IsLocal(sf.ChunkFile) || !filepath.IsLocal(sf.IndexFile) {
+			return nil, fmt.Errorf("chunkfile: manifest shard %d names a non-local path", i)
+		}
+		m.Shards = append(m.Shards, sf)
+	}
+	if o != len(raw) {
+		return nil, fmt.Errorf("chunkfile: manifest has %d trailing bytes", len(raw)-o)
+	}
+	return m, nil
+}

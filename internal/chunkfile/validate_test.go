@@ -1,0 +1,209 @@
+package chunkfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// writePair writes the fixture clustering to a fresh file pair.
+func writePair(t *testing.T, pageSize int) (cp, ip string, cs []*cluster.Cluster) {
+	t.Helper()
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	cp, ip = filepath.Join(dir, "c.chunk"), filepath.Join(dir, "c.idx")
+	if err := Write(coll, cs, cp, ip, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	return cp, ip, cs
+}
+
+// rewriteEntry loads the index file, mutates entry i in place (offset is
+// the entry's field offset of the chunk-file offset field), and writes it
+// back.
+func rewriteEntry(t *testing.T, ip string, i int, mutate func(entry []byte, offField int)) {
+	t.Helper()
+	raw, err := os.ReadFile(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := int(binary.LittleEndian.Uint32(raw[8:12]))
+	es := EntrySize(dims)
+	mutate(raw[16+i*es:16+(i+1)*es], dims*4+8)
+	if err := os.WriteFile(ip, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenValidatesMetas pins the open-time validation: index entries
+// whose offset, size or count disagree with the chunk file must fail at
+// Open with a clear error, never surface mid-query.
+func TestOpenValidatesMetas(t *testing.T) {
+	const pageSize = 4096
+	cases := []struct {
+		name   string
+		mutate func(entry []byte, offField int)
+	}{
+		{"offset beyond EOF", func(e []byte, offField int) {
+			binary.LittleEndian.PutUint64(e[offField:], 1<<40)
+		}},
+		{"offset inside header", func(e []byte, offField int) {
+			binary.LittleEndian.PutUint64(e[offField:], 8)
+		}},
+		{"bytes beyond EOF", func(e []byte, offField int) {
+			binary.LittleEndian.PutUint32(e[offField+8:], 1<<30)
+		}},
+		{"count exceeds bytes", func(e []byte, offField int) {
+			binary.LittleEndian.PutUint32(e[offField+12:], 1<<20)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp, ip, _ := writePair(t, pageSize)
+			rewriteEntry(t, ip, 1, tc.mutate)
+			if st, err := Open(cp, ip); err == nil {
+				st.Close()
+				t.Fatal("corrupt index entry accepted at open time")
+			} else {
+				t.Log(err)
+			}
+		})
+	}
+
+	// A truncated chunk file fails at open, not at first read.
+	cp, ip, _ := writePair(t, pageSize)
+	raw, err := os.ReadFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cp, raw[:len(raw)-pageSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := Open(cp, ip); err == nil {
+		st.Close()
+		t.Fatal("truncated chunk file accepted at open time")
+	}
+}
+
+// TestUseAfterCloseIsError pins the ErrClosed contract on both stores:
+// ReadChunk after Close reports ErrClosed instead of silently serving
+// (MemStore) or surfacing a bare file error (FileStore).
+func TestUseAfterCloseIsError(t *testing.T) {
+	coll, cs := makeClusters(t)
+
+	mem := NewMemStore(coll, cs, 4096)
+	var data Data
+	if err := mem.ReadChunk(0, &data); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ReadChunk(0, &data); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed MemStore ReadChunk: %v, want ErrClosed", err)
+	}
+
+	cp, ip, _ := writePair(t, 4096)
+	fs, err := Open(cp, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReadChunk(0, &data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ReadChunk(0, &data); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed FileStore ReadChunk: %v, want ErrClosed", err)
+	}
+}
+
+// TestShardedRoundTrip pins the manifest format: SaveSharded then
+// OpenSharded serves the same chunks per shard, and the manifest's
+// cross-checks reject tampered directories.
+func TestShardedRoundTrip(t *testing.T) {
+	coll, cs := makeClusters(t)
+	dir := t.TempDir()
+	shards := [][]*cluster.Cluster{{cs[0], cs[2]}, {cs[1]}}
+	const pageSize = 4096
+	if err := SaveSharded(coll, shards, dir, pageSize); err != nil {
+		t.Fatal(err)
+	}
+
+	stores, m, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dims != coll.Dims() || m.PageSize != pageSize || len(m.Shards) != 2 {
+		t.Fatalf("manifest %+v", m)
+	}
+	if len(stores) != 2 {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	var data Data
+	for s, part := range shards {
+		if got := len(stores[s].Meta()); got != len(part) {
+			t.Fatalf("shard %d: %d chunks != %d", s, got, len(part))
+		}
+		for ci, cl := range part {
+			if err := stores[s].ReadChunk(ci, &data); err != nil {
+				t.Fatal(err)
+			}
+			if data.Len() != cl.Count() {
+				t.Fatalf("shard %d chunk %d: %d descriptors != %d", s, ci, data.Len(), cl.Count())
+			}
+		}
+		stores[s].Close()
+	}
+
+	// A manifest naming paths outside its directory is rejected (hostile
+	// manifests must not read files outside the index dir).
+	for _, evil := range []string{"../escape.chunk", "/abs/escape.chunk", ""} {
+		bad := *m
+		bad.Shards = append([]ShardFiles(nil), m.Shards...)
+		bad.Shards[0].ChunkFile = evil
+		if err := WriteManifest(filepath.Join(dir, ManifestName), &bad); err != nil {
+			t.Fatal(err)
+		}
+		if opened, _, err := OpenSharded(dir); err == nil {
+			for _, st := range opened {
+				st.Close()
+			}
+			t.Fatalf("manifest with shard path %q accepted", evil)
+		}
+	}
+
+	// A manifest chunk count that disagrees with the shard's index file is
+	// rejected.
+	m.Shards[1].Chunks = 5
+	if err := WriteManifest(filepath.Join(dir, ManifestName), m); err != nil {
+		t.Fatal(err)
+	}
+	if opened, _, err := OpenSharded(dir); err == nil {
+		for _, st := range opened {
+			st.Close()
+		}
+		t.Fatal("manifest/shard chunk-count mismatch accepted")
+	}
+
+	// A truncated manifest is rejected.
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenSharded(dir); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+
+	if err := SaveSharded(coll, nil, dir, pageSize); err == nil {
+		t.Fatal("zero-shard save accepted")
+	}
+}

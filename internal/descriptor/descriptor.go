@@ -261,4 +261,3 @@ func DecodeRecords(buf []byte, n, dims int, ids []ID, vecs []float32) {
 		}
 	}
 }
-

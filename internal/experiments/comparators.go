@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/chunkfile"
 	"repro/internal/descriptor"
 	"repro/internal/knn"
 	"repro/internal/lsh"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/psphere"
 	"repro/internal/search"
 	"repro/internal/search/batchexec"
+	"repro/internal/shard"
 	"repro/internal/vafile"
 	"repro/internal/workload"
 )
@@ -82,6 +84,46 @@ func Comparators(lab *Lab) (*ComparatorsResult, error) {
 		res.Rows = append(res.Rows, ComparatorRow{
 			Method: "chunk-search/SR",
 			Param:  fmt.Sprintf("chunks=%d", budget),
+			Recall: recall / float64(len(queries)),
+			SimSec: secs / float64(len(queries)),
+		})
+	}
+
+	// Sharded chunk search: the same SR chunks partitioned across four
+	// simulated machines (balanced by padded chunk bytes), searched
+	// scatter-gather with the per-shard budget. Simulated time is the max
+	// over the shards — they run in parallel — so the rows show what the
+	// ROADMAP's sharding direction buys: response time drops while the
+	// summed chunk work (the hardware bill) rises.
+	lab.Cfg.logf("comparators: sharded chunk search...")
+	const comparatorShards = 4
+	assign, err := shard.Partition(g.SRChunks, comparatorShards, lab.Coll.Dims(), lab.Cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	shardStores := make([]chunkfile.Store, len(assign))
+	for s, idxs := range assign {
+		shardStores[s] = chunkfile.NewMemStore(lab.Coll, shard.Select(g.SRChunks, idxs), lab.Cfg.PageSize)
+	}
+	router, err := shard.NewRouter(shardStores, model)
+	if err != nil {
+		return nil, err
+	}
+	for _, budget := range []int{1, 2, 5} {
+		err := workload.RunSharded(router, queries, batchexec.Options{
+			K: k, Stop: search.ChunkBudget(budget), Overlap: true,
+		}, chunkResults)
+		if err != nil {
+			return nil, err
+		}
+		var recall, secs float64
+		for qi := range chunkResults {
+			recall += recallOf(qi, chunkResults[qi].Neighbors)
+			secs += chunkResults[qi].Elapsed.Seconds()
+		}
+		res.Rows = append(res.Rows, ComparatorRow{
+			Method: fmt.Sprintf("chunk-search/SR-%dshard", comparatorShards),
+			Param:  fmt.Sprintf("chunks=%dx%d", comparatorShards, budget),
 			Recall: recall / float64(len(queries)),
 			SimSec: secs / float64(len(queries)),
 		})

@@ -122,13 +122,23 @@ func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error
 		}
 		return nil, fmt.Errorf("multiquery: %w", err)
 	}
+	return Aggregate(results, opts), nil
+}
 
+// Aggregate folds per-descriptor search outcomes into the image-vote
+// result: one (possibly rank-weighted) vote per (descriptor, image) pair,
+// images ranked by descending score. It is the single voting
+// implementation shared by the single-store Searcher and the sharded
+// router, so a sharded multi-descriptor query scores images exactly as an
+// unsharded one does. Only RankWeighted and MinVotes are consulted from
+// opts (K and Stop already shaped the results).
+func Aggregate(results []search.Result, opts Options) *Result {
 	type tally struct {
 		score   float64
 		matches int
 	}
 	votes := map[uint32]*tally{}
-	res := &Result{Descriptors: len(descriptors)}
+	res := &Result{Descriptors: len(results)}
 	seen := map[uint32]bool{}
 	for qi := range results {
 		sr := &results[qi]
@@ -170,5 +180,5 @@ func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error
 		}
 		return res.Images[a].Image < res.Images[b].Image
 	})
-	return res, nil
+	return res
 }

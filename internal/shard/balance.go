@@ -1,0 +1,98 @@
+// Package shard is the sharded index layer: it partitions a clustering
+// across S shards, each shard a complete chunk index of its own (one
+// chunkfile.Store served by one single-query search.Searcher and one
+// chunk-major batchexec.Engine), and routes single, batch and
+// multi-descriptor queries scatter-gather across the shards.
+//
+// The cost model extends the repo convention of one simulated 2005
+// machine per query to one simulated 2005 machine *per shard*: every
+// shard charges a query's chunks to its own per-query simdisk.Pipeline
+// (in that shard's local rank order, with the stop rule applied after
+// every charged chunk), and the merged result reports the *max* of the
+// per-shard simulated times — the shards run in parallel — while
+// ChunksRead is the *sum* of the work they did. Simulated time is never
+// wall-aggregated across shards or queries.
+//
+// Per-shard results merge through knn.Less, so merged neighbor lists are
+// deterministic, and a run-to-completion search is provably the exact
+// global k-NN: any global top-k descriptor is within the top k of its own
+// shard, so the union of per-shard exact top-k lists contains the global
+// top k, and every shard's exactness certificate (suffix bound) holds
+// locally.
+package shard
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/chunkfile"
+	"repro/internal/cluster"
+)
+
+// Partition assigns clusters to shards, balancing the shards by padded
+// on-disk chunk bytes (chunkfile.PaddedBytes): clusters are taken largest
+// first and each goes to the currently lightest shard — the greedy LPT
+// heuristic, which bounds the heaviest shard within 4/3 of optimal. The
+// procedure is fully deterministic: equal-size clusters are taken in
+// ascending cluster order and load ties break toward the lowest shard
+// index, so the same clustering always yields the same partition.
+//
+// The returned assignment holds each shard's cluster indexes in
+// ascending original order. Preserving the original relative order
+// inside every shard keeps chunk-order-dependent tie-breaks (chunk
+// ranking at equal centroid distance) aligned with the unsharded index;
+// in particular a 1-shard partition is exactly the identity, which is
+// what pins the 1-shard ≡ unsharded equivalence.
+//
+// Shards may come out empty when there are fewer clusters than shards; an
+// empty shard serves an empty chunk index and every query over it is
+// trivially exact.
+func Partition(clusters []*cluster.Cluster, shards, dims, pageSize int) ([][]int, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", shards)
+	}
+	type weighted struct {
+		idx   int
+		bytes int64
+	}
+	order := make([]weighted, len(clusters))
+	for i, cl := range clusters {
+		order[i] = weighted{idx: i, bytes: int64(chunkfile.PaddedBytes(cl.Count(), dims, pageSize))}
+	}
+	slices.SortFunc(order, func(a, b weighted) int {
+		switch {
+		case a.bytes > b.bytes:
+			return -1
+		case a.bytes < b.bytes:
+			return 1
+		}
+		return a.idx - b.idx
+	})
+
+	assign := make([][]int, shards)
+	loads := make([]int64, shards)
+	for _, w := range order {
+		lightest := 0
+		for s := 1; s < shards; s++ {
+			if loads[s] < loads[lightest] {
+				lightest = s
+			}
+		}
+		assign[lightest] = append(assign[lightest], w.idx)
+		loads[lightest] += w.bytes
+	}
+	for _, idxs := range assign {
+		slices.Sort(idxs)
+	}
+	return assign, nil
+}
+
+// Select materializes one shard of an assignment: the clusters at the
+// given indexes, in assignment order.
+func Select(clusters []*cluster.Cluster, idxs []int) []*cluster.Cluster {
+	part := make([]*cluster.Cluster, len(idxs))
+	for i, ci := range idxs {
+		part[i] = clusters[ci]
+	}
+	return part
+}

@@ -1,0 +1,392 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/knn"
+	"repro/internal/multiquery"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/simdisk"
+	"repro/internal/vec"
+)
+
+// ShardError reports which shard of a scatter failed. When several shards
+// fail in one scatter, the lowest shard index is reported.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard: shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap returns the underlying error.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ShardCost is one shard's share of a merged query outcome.
+type ShardCost struct {
+	ChunksRead int
+	Elapsed    time.Duration // this shard's simulated machine
+	Exact      bool
+}
+
+// Result is the merged outcome of one scatter-gather query.
+type Result struct {
+	Neighbors  []knn.Neighbor // global top k, merged through knn.Less
+	ChunksRead int            // sum over shards
+	// Elapsed is the simulated time: the max over the shards' machines,
+	// since the shards run in parallel. IndexRead likewise.
+	Elapsed   time.Duration
+	IndexRead time.Duration
+	Wall      time.Duration // real time of the scatter-gather call
+	// Exact reports that every shard's result was provably exact, which
+	// makes the merged list the exact global k-NN.
+	Exact bool
+	// PerShard is the per-shard breakdown in shard order; the slice is
+	// reused across calls on a recycled Result.
+	PerShard []ShardCost
+}
+
+// routedShard is one shard's serving stack: the store plus the two
+// execution paths over it.
+type routedShard struct {
+	store    chunkfile.Store
+	searcher *search.Searcher
+	engine   *batchexec.Engine
+}
+
+// Router serves queries scatter-gather across a set of shards. It is safe
+// for concurrent use.
+type Router struct {
+	shards  []routedShard
+	dims    int
+	scratch sync.Pool // *scatter
+	mq      sync.Pool // *[]search.Result: multi-descriptor result arena
+}
+
+// scatter is the pooled per-call state of one scatter-gather: the
+// per-shard result slots, the per-shard merge cursors, and the error
+// slots (one per shard, so concurrent shard goroutines never contend).
+type scatter struct {
+	single []search.Result   // one slot per shard (single-query scatter)
+	batch  [][]search.Result // one arena per shard (batch scatter)
+	rows   []*search.Result  // merge view: one shard's result for one query
+	cur    []int             // merge cursors, one per shard
+	errs   []error
+}
+
+// NewRouter builds a Router over one store per shard. A nil model selects
+// the calibrated 2005 model for every shard's machine.
+func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: no stores")
+	}
+	dims := stores[0].Dims()
+	r := &Router{dims: dims}
+	for i, st := range stores {
+		if st.Dims() != dims {
+			return nil, fmt.Errorf("shard: shard %d dims %d != shard 0 dims %d", i, st.Dims(), dims)
+		}
+		r.shards = append(r.shards, routedShard{
+			store:    st,
+			searcher: search.New(st, model),
+			engine:   batchexec.New(st, model),
+		})
+	}
+	r.scratch.New = func() any { return &scatter{} }
+	r.mq.New = func() any {
+		s := []search.Result(nil)
+		return &s
+	}
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Store returns shard i's chunk store.
+func (r *Router) Store(i int) chunkfile.Store { return r.shards[i].store }
+
+// Close closes every shard's store.
+func (r *Router) Close() error {
+	var errs []error
+	for i := range r.shards {
+		if err := r.shards[i].store.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// normalize applies the search defaults once at the router, so every
+// shard and the merge agree on k and the stop rule.
+func normalize(opts search.Options) search.Options {
+	if opts.K <= 0 {
+		opts.K = 30
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ToCompletion{}
+	}
+	return opts
+}
+
+// Search runs one query scatter-gather and returns the merged result.
+func (r *Router) Search(q vec.Vector, opts search.Options) (*Result, error) {
+	res := &Result{}
+	if err := r.SearchInto(q, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchInto runs one query against every shard concurrently, each shard
+// executing the paper's algorithm over its own chunks with its own
+// simulated machine (per-shard pipeline, stop rule applied after every
+// chunk), then merges the per-shard k-NN lists into res. The Neighbors
+// and PerShard slices already in res are reused when they have capacity.
+func (r *Router) SearchInto(q vec.Vector, opts search.Options, res *Result) error {
+	start := time.Now()
+	opts = normalize(opts)
+	if len(q) != r.dims {
+		return fmt.Errorf("shard: query dims %d != store dims %d", len(q), r.dims)
+	}
+
+	sc := r.scratch.Get().(*scatter)
+	defer r.scratch.Put(sc)
+	n := len(r.shards)
+	sc.single = grow(sc.single, n)
+	sc.errs = resetErrs(sc.errs, n)
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sc.errs[s] = r.shards[s].searcher.SearchInto(q, opts, &sc.single[s])
+		}(s)
+	}
+	sc.errs[0] = r.shards[0].searcher.SearchInto(q, opts, &sc.single[0])
+	wg.Wait()
+	for s, err := range sc.errs {
+		if err != nil {
+			return &ShardError{Shard: s, Err: err}
+		}
+	}
+
+	sc.rows = sc.rows[:0]
+	for s := range sc.single {
+		sc.rows = append(sc.rows, &sc.single[s])
+	}
+	neighbors := res.Neighbors[:0]
+	perShard := res.PerShard[:0]
+	*res = Result{Exact: true}
+	res.Neighbors, sc.cur = mergeNeighbors(sc.rows, opts.K, neighbors, sc.cur)
+	for _, row := range sc.rows {
+		foldCost(res, row)
+		perShard = append(perShard, ShardCost{ChunksRead: row.ChunksRead, Elapsed: row.Elapsed, Exact: row.Exact})
+	}
+	res.PerShard = perShard
+	res.Wall = time.Since(start)
+	return nil
+}
+
+// RunBatch executes a whole workload scatter-gather: every shard's
+// chunk-major engine runs the full query set concurrently with the other
+// shards, then each query's per-shard outcomes are merged into
+// results[qi] with the same rules as SearchInto (neighbors through
+// knn.Less, ChunksRead summed, Elapsed the max over the shards' simulated
+// machines, Exact when every shard was exact). The results array is
+// caller-owned; its neighbor slices are reused when they have capacity.
+func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
+	start := time.Now()
+	if len(queries) == 0 {
+		return nil
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("shard: results length %d != queries length %d", len(results), len(queries))
+	}
+	if opts.K <= 0 {
+		opts.K = 30
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ToCompletion{}
+	}
+	for qi, q := range queries {
+		if len(q) != r.dims {
+			return &batchexec.QueryError{Query: qi, Err: fmt.Errorf("query dims %d != store dims %d", len(q), r.dims)}
+		}
+	}
+
+	sc := r.scratch.Get().(*scatter)
+	defer r.scratch.Put(sc)
+	n := len(r.shards)
+	if cap(sc.batch) < n {
+		batch := make([][]search.Result, n)
+		copy(batch, sc.batch)
+		sc.batch = batch
+	}
+	sc.batch = sc.batch[:n]
+	for s := range sc.batch {
+		sc.batch[s] = grow(sc.batch[s], len(queries))
+	}
+	sc.errs = resetErrs(sc.errs, n)
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sc.errs[s] = r.shards[s].engine.Run(queries, opts, sc.batch[s])
+		}(s)
+	}
+	sc.errs[0] = r.shards[0].engine.Run(queries, opts, sc.batch[0])
+	wg.Wait()
+	for s, err := range sc.errs {
+		if err != nil {
+			return &ShardError{Shard: s, Err: err}
+		}
+	}
+
+	wall := time.Since(start)
+	for qi := range results {
+		sc.rows = sc.rows[:0]
+		for s := 0; s < n; s++ {
+			sc.rows = append(sc.rows, &sc.batch[s][qi])
+		}
+		res := &results[qi]
+		neighbors := res.Neighbors[:0]
+		*res = search.Result{}
+		res.Neighbors, sc.cur = mergeNeighbors(sc.rows, opts.K, neighbors, sc.cur)
+		res.Exact = true
+		for _, row := range sc.rows {
+			res.ChunksRead += row.ChunksRead
+			if row.Elapsed > res.Elapsed {
+				res.Elapsed = row.Elapsed
+			}
+			if row.IndexRead > res.IndexRead {
+				res.IndexRead = row.IndexRead
+			}
+			res.Exact = res.Exact && row.Exact
+		}
+		res.Wall = wall
+	}
+	return nil
+}
+
+// MultiQuery runs a multi-descriptor (whole-image) query scatter-gather:
+// the bag's per-descriptor searches run as one batch across every shard,
+// and the merged per-descriptor neighbor lists vote through the shared
+// multiquery aggregation, so the outcome matches a single-store
+// multi-descriptor query over the union of the shards.
+func (r *Router) MultiQuery(descriptors []vec.Vector, opts multiquery.Options) (*multiquery.Result, error) {
+	if len(descriptors) == 0 {
+		return nil, errors.New("shard: no query descriptors")
+	}
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ChunkBudget(3)
+	}
+	rp := r.mq.Get().(*[]search.Result)
+	defer r.mq.Put(rp)
+	*rp = grow(*rp, len(descriptors))
+	results := *rp
+	err := r.RunBatch(descriptors, batchexec.Options{
+		K:       opts.K,
+		Stop:    opts.Stop,
+		Overlap: opts.Overlap,
+	}, results)
+	if err != nil {
+		return nil, fmt.Errorf("shard: multiquery: %w", err)
+	}
+	return multiquery.Aggregate(results, opts), nil
+}
+
+// mergeNeighbors merges the per-shard sorted neighbor lists in rows into
+// the global top k, appending to dst. Heads are compared through
+// knn.Less, the canonical (distance, ascending id) composite order; the
+// reported Dist is the true distance, and since sqrt is monotone the
+// (Dist, ID) order agrees with the squared-distance order every shard's
+// heap sorted by — up to one theoretical caveat: sqrt can collapse two
+// adjacent-ulp distinct squared distances onto one float64, in which
+// case the cross-shard tie falls to the ID order instead of the d²
+// order. Squared distances live on the far coarser grid of summed
+// float32 products, so no real workload has exhibited this; the
+// completion-vs-oracle equivalence tests would catch one if it did.
+// The cursor walk preserves each shard's own order, so a 1-shard merge
+// is a plain copy — which is what keeps 1-shard results byte-identical
+// to the unsharded path. Shards partition the collection, so IDs are
+// unique across rows and the merge is deterministic.
+//
+// The cur slice is caller-recycled cursor scratch; the (possibly grown)
+// buffer is returned alongside dst.
+func mergeNeighbors(rows []*search.Result, k int, dst []knn.Neighbor, cur []int) ([]knn.Neighbor, []int) {
+	if cap(cur) < len(rows) {
+		cur = make([]int, len(rows))
+	}
+	cur = cur[:len(rows)]
+	for s := range cur {
+		cur[s] = 0
+	}
+	for len(dst) < k {
+		best := -1
+		var bestNb knn.Neighbor
+		for s, row := range rows {
+			if cur[s] >= len(row.Neighbors) {
+				continue
+			}
+			nb := row.Neighbors[cur[s]]
+			if best < 0 || knn.Less(nb.Dist, nb.ID, bestNb.Dist, bestNb.ID) {
+				best, bestNb = s, nb
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dst = append(dst, bestNb)
+		cur[best]++
+	}
+	return dst, cur
+}
+
+// foldCost folds one shard's costs into the merged result: chunks sum,
+// simulated times max (the shards run in parallel), exactness ANDs (the
+// caller seeds Exact to true before the first fold).
+func foldCost(res *Result, row *search.Result) {
+	res.ChunksRead += row.ChunksRead
+	if row.Elapsed > res.Elapsed {
+		res.Elapsed = row.Elapsed
+	}
+	if row.IndexRead > res.IndexRead {
+		res.IndexRead = row.IndexRead
+	}
+	res.Exact = res.Exact && row.Exact
+}
+
+// grow returns s with length n, reusing its capacity (and the neighbor
+// slices inside retained elements) when possible.
+func grow(s []search.Result, n int) []search.Result {
+	if cap(s) < n {
+		grown := make([]search.Result, n)
+		copy(grown, s[:cap(s)])
+		return grown
+	}
+	return s[:n]
+}
+
+// resetErrs returns errs with length n and every slot nil.
+func resetErrs(errs []error, n int) []error {
+	if cap(errs) < n {
+		errs = make([]error, n)
+	}
+	errs = errs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	return errs
+}

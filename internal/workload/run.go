@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/search"
 	"repro/internal/search/batchexec"
+	"repro/internal/shard"
 	"repro/internal/vec"
 )
 
@@ -18,6 +19,17 @@ import (
 // search.Searcher individually.
 func Run(eng *batchexec.Engine, queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
 	return eng.Run(queries, opts, results)
+}
+
+// RunSharded executes a whole query workload scatter-gather across a
+// sharded index: every shard's chunk-major engine runs the workload
+// concurrently with the other shards, and results[qi] receives the merged
+// outcome of queries[qi] (neighbors merged through knn.Less, ChunksRead
+// summed over shards, Elapsed the max over the shards' simulated
+// machines). Like Run, the results array is caller-owned and reusable
+// across sweeps.
+func RunSharded(r *shard.Router, queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
+	return r.RunBatch(queries, opts, results)
 }
 
 // Stats aggregates one workload execution.

@@ -16,6 +16,13 @@
 //	res, _ := idx.Search(coll.Vec(17), repro.SearchOptions{K: 30, MaxChunks: 5})
 //	for _, nb := range res.Neighbors { fmt.Println(nb.ID, nb.Dist) }
 //
+// Beyond the paper, the package serves production-shaped workloads:
+// whole-workload batches run on a chunk-major batch engine (SearchBatch,
+// SearchBatchInto), whole-image bags of descriptors on the multi-query
+// voting layer (MultiSearch), and BuildSharded/OpenSharded partition an
+// index across shards searched scatter-gather (ShardedIndex), one
+// simulated 2005 machine per shard.
+//
 // The internal packages hold the substrates (see DESIGN.md); this package
 // is the stable surface.
 package repro
@@ -124,6 +131,7 @@ type Index struct {
 
 	batchPool sync.Pool // *[]search.Result: SearchBatchInto's internal arena
 
+	pageSize int                // page granularity the store was padded with
 	coll     *Collection        // nil for file-opened indexes
 	clusters []*cluster.Cluster // nil for file-opened indexes
 
@@ -150,14 +158,21 @@ func newIndex(store chunkfile.Store) *Index {
 	return ix
 }
 
-// Build forms chunks from the collection with the selected strategy and
-// returns an in-memory index over them.
-func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
-	if cfg.ChunkSize < 1 {
-		return nil, fmt.Errorf("repro: ChunkSize %d < 1", cfg.ChunkSize)
+// normalizePageSize resolves a BuildConfig page size (0 means the 8 KiB
+// default).
+func normalizePageSize(pageSize int) int {
+	if pageSize <= 0 {
+		return chunkfile.DefaultPageSize
 	}
-	var clusters []*cluster.Cluster
-	var outliers []int
+	return pageSize
+}
+
+// buildClusters forms chunks from the collection with the selected
+// strategy — the clustering stage shared by Build and BuildSharded.
+func buildClusters(coll *Collection, cfg BuildConfig) (clusters []*cluster.Cluster, outliers []int, err error) {
+	if cfg.ChunkSize < 1 {
+		return nil, nil, fmt.Errorf("repro: ChunkSize %d < 1", cfg.ChunkSize)
+	}
 	switch cfg.Strategy {
 	case StrategyBAG:
 		bcfg := bag.DefaultConfig(coll.Len(), cfg.ChunkSize)
@@ -171,7 +186,7 @@ func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
 		bcfg.Progress = cfg.Progress
 		snaps, err := bag.Run(coll, bcfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		snap := snaps[len(snaps)-1]
 		clusters = snap.Clusters
@@ -179,39 +194,52 @@ func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
 	case StrategySRTree, "":
 		tree, err := srtree.Build(coll, nil, cfg.ChunkSize, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		clusters = tree.Chunks()
 	case StrategyRoundRobin:
 		var err error
 		clusters, err = roundrobin.Chunks(coll, nil, cfg.ChunkSize)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	case StrategyHybrid:
 		var err error
 		clusters, err = hybrid.Chunks(coll, nil, hybrid.Config{ChunkSize: cfg.ChunkSize, Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	default:
-		return nil, fmt.Errorf("repro: unknown strategy %q", cfg.Strategy)
+		return nil, nil, fmt.Errorf("repro: unknown strategy %q", cfg.Strategy)
+	}
+	return clusters, outliers, nil
+}
+
+// Build forms chunks from the collection with the selected strategy and
+// returns an in-memory index over them.
+func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
+	clusters, outliers, err := buildClusters(coll, cfg)
+	if err != nil {
+		return nil, err
 	}
 	store := chunkfile.NewMemStore(coll, clusters, cfg.PageSize)
 	ix := newIndex(store)
+	ix.pageSize = normalizePageSize(cfg.PageSize)
 	ix.coll = coll
 	ix.clusters = clusters
 	ix.Outliers = outliers
 	return ix, nil
 }
 
-// Save writes the index's two files (§4.2: chunk file + index file).
-// Only indexes produced by Build can be saved.
+// Save writes the index's two files (§4.2: chunk file + index file) at
+// the page size the index was built with, so the reopened index has
+// byte-identical chunk layout and simulated timings. Only indexes
+// produced by Build can be saved.
 func (ix *Index) Save(chunkPath, indexPath string) error {
 	if ix.coll == nil || ix.clusters == nil {
 		return fmt.Errorf("repro: index was not built in this process; nothing to save")
 	}
-	return chunkfile.Write(ix.coll, ix.clusters, chunkPath, indexPath, chunkfile.DefaultPageSize)
+	return chunkfile.Write(ix.coll, ix.clusters, chunkPath, indexPath, ix.pageSize)
 }
 
 // Open maps an index previously written by Save.
@@ -220,7 +248,9 @@ func Open(chunkPath, indexPath string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(st), nil
+	ix := newIndex(st)
+	ix.pageSize = st.PageSize()
+	return ix, nil
 }
 
 // Close releases the index's resources.

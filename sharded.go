@@ -1,0 +1,270 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chunkfile"
+	"repro/internal/cluster"
+	"repro/internal/multiquery"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/shard"
+)
+
+// ShardedIndex is a chunk index partitioned across S shards, each shard a
+// complete two-file index served by its own single-query searcher and
+// chunk-major batch engine. Queries scatter to every shard concurrently
+// and gather through a deterministic merge, so a run-to-completion search
+// returns the exact global k-NN. The simulated cost model is one 2005
+// machine per shard: a query's Simulated is the max over the shards
+// (they run in parallel), ChunksRead the sum, and each stop rule applies
+// per shard to that shard's own simulated pipeline.
+//
+// A 1-shard ShardedIndex returns results byte-identical to Index — same
+// IDs, distances, ChunksRead, Simulated and Exact under every stop rule.
+type ShardedIndex struct {
+	router   *shard.Router
+	pageSize int
+
+	batchPool sync.Pool // *[]search.Result: SearchBatchInto's internal arena
+	resPool   sync.Pool // *shard.Result: SearchInto's merge scratch
+
+	coll  *Collection          // nil for file-opened indexes
+	parts [][]*cluster.Cluster // per-shard clusters; nil for file-opened indexes
+
+	// Outliers holds the collection positions BAG discarded (empty for
+	// the other strategies and for file-opened indexes).
+	Outliers []int
+}
+
+// newShardedIndex assembles the facade over a router.
+func newShardedIndex(router *shard.Router, pageSize int) *ShardedIndex {
+	sx := &ShardedIndex{router: router, pageSize: pageSize}
+	sx.batchPool.New = func() any {
+		s := []search.Result(nil)
+		return &s
+	}
+	sx.resPool.New = func() any { return &shard.Result{} }
+	return sx
+}
+
+// BuildSharded forms chunks from the collection with the selected
+// strategy and partitions them across the given number of shards,
+// balanced by padded on-disk chunk bytes (greedy largest-first, fully
+// deterministic). Each shard becomes its own in-memory chunk index.
+func BuildSharded(coll *Collection, cfg BuildConfig, shards int) (*ShardedIndex, error) {
+	clusters, outliers, err := buildClusters(coll, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pageSize := normalizePageSize(cfg.PageSize)
+	assign, err := shard.Partition(clusters, shards, coll.Dims(), pageSize)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]*cluster.Cluster, len(assign))
+	stores := make([]chunkfile.Store, len(assign))
+	for s, idxs := range assign {
+		parts[s] = shard.Select(clusters, idxs)
+		stores[s] = chunkfile.NewMemStore(coll, parts[s], pageSize)
+	}
+	router, err := shard.NewRouter(stores, nil)
+	if err != nil {
+		return nil, err
+	}
+	sx := newShardedIndex(router, pageSize)
+	sx.coll = coll
+	sx.parts = parts
+	sx.Outliers = outliers
+	return sx, nil
+}
+
+// Save writes the sharded index into dir: one shard-<i>.chunk /
+// shard-<i>.idx pair per shard plus a manifest, all at the page size the
+// index was built with. Only indexes produced by BuildSharded can be
+// saved.
+func (sx *ShardedIndex) Save(dir string) error {
+	if sx.coll == nil || sx.parts == nil {
+		return fmt.Errorf("repro: sharded index was not built in this process; nothing to save")
+	}
+	return chunkfile.SaveSharded(sx.coll, sx.parts, dir, sx.pageSize)
+}
+
+// OpenSharded maps a sharded index directory previously written by
+// ShardedIndex.Save.
+func OpenSharded(dir string) (*ShardedIndex, error) {
+	stores, manifest, err := chunkfile.OpenSharded(dir)
+	if err != nil {
+		return nil, err
+	}
+	shardStores := make([]chunkfile.Store, len(stores))
+	for i, st := range stores {
+		shardStores[i] = st
+	}
+	router, err := shard.NewRouter(shardStores, nil)
+	if err != nil {
+		for _, st := range stores {
+			st.Close()
+		}
+		return nil, err
+	}
+	return newShardedIndex(router, manifest.PageSize), nil
+}
+
+// Close releases every shard's resources.
+func (sx *ShardedIndex) Close() error { return sx.router.Close() }
+
+// Shards returns the shard count.
+func (sx *ShardedIndex) Shards() int { return sx.router.Shards() }
+
+// Chunks returns the total number of chunks across shards.
+func (sx *ShardedIndex) Chunks() int {
+	n := 0
+	for s := 0; s < sx.router.Shards(); s++ {
+		n += len(sx.router.Store(s).Meta())
+	}
+	return n
+}
+
+// Len returns the number of descriptors reachable through the index.
+func (sx *ShardedIndex) Len() int {
+	n := 0
+	for s := 0; s < sx.router.Shards(); s++ {
+		for _, m := range sx.router.Store(s).Meta() {
+			n += m.Count
+		}
+	}
+	return n
+}
+
+// Search runs one query scatter-gather across the shards.
+func (sx *ShardedIndex) Search(q Vector, opts SearchOptions) (*Result, error) {
+	res := &Result{}
+	if err := sx.SearchInto(q, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchInto runs one query scatter-gather, writing the merged outcome
+// into res. MaxChunks and MaxTime budgets apply per shard (each shard is
+// its own simulated machine); Simulated is the max over the shards and
+// ChunksRead their sum. The Neighbors slice already in res is reused when
+// it has capacity.
+func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) error {
+	sr := sx.resPool.Get().(*shard.Result)
+	defer sx.resPool.Put(sr)
+	neighbors := sr.Neighbors
+	sr.Neighbors = res.Neighbors
+	err := sx.router.SearchInto(q, search.Options{
+		K:       opts.K,
+		Stop:    stopRule(opts),
+		Overlap: opts.Overlap,
+		Model:   opts.Model,
+	}, sr)
+	if err != nil {
+		sr.Neighbors = neighbors
+		return fmt.Errorf("repro: %w", err)
+	}
+	res.Neighbors = sr.Neighbors
+	res.ChunksRead = sr.ChunksRead
+	res.Simulated = sr.Elapsed
+	res.Wall = sr.Wall
+	res.Exact = sr.Exact
+	sr.Neighbors = neighbors[:0] // keep the pooled scratch's own buffer
+	return nil
+}
+
+// SearchBatchInto runs every query scatter-gather across the shards,
+// writing the merged outcome of queries[qi] into results[qi]. Every
+// shard executes the whole batch on its own chunk-major engine,
+// concurrently with the other shards; per-query merge semantics match
+// SearchInto exactly. The results array is the caller-owned arena, as in
+// Index.SearchBatchInto.
+func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, results []Result) error {
+	if len(results) != len(queries) {
+		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	sp := sx.batchPool.Get().(*[]search.Result)
+	defer sx.batchPool.Put(sp)
+	if cap(*sp) < len(queries) {
+		*sp = make([]search.Result, len(queries))
+	}
+	srs := (*sp)[:len(queries)]
+	for i := range results {
+		srs[i] = search.Result{Neighbors: results[i].Neighbors[:0]}
+	}
+	err := sx.router.RunBatch(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopRule(opts.SearchOptions),
+		Model:       opts.Model,
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+	}, srs)
+	if err != nil {
+		for i := range srs {
+			srs[i] = search.Result{} // do not retain caller slices in the pool
+		}
+		var qe *batchexec.QueryError
+		if errors.As(err, &qe) {
+			return fmt.Errorf("repro: batch query %d: %w", qe.Query, qe.Err)
+		}
+		return fmt.Errorf("repro: %w", err)
+	}
+	for i := range results {
+		sr := &srs[i]
+		results[i] = Result{
+			Neighbors:  sr.Neighbors,
+			ChunksRead: sr.ChunksRead,
+			Simulated:  sr.Elapsed,
+			Wall:       sr.Wall,
+			Exact:      sr.Exact,
+		}
+		srs[i] = search.Result{} // do not retain caller slices in the pool
+	}
+	return nil
+}
+
+// SearchBatch runs every query and returns the merged results in query
+// order — the allocating convenience form of SearchBatchInto.
+func (sx *ShardedIndex) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	backing := make([]Result, len(queries))
+	if err := sx.SearchBatchInto(queries, opts, backing); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(queries))
+	for i := range backing {
+		out[i] = &backing[i]
+	}
+	return out, nil
+}
+
+// MultiSearch runs a whole-image multi-descriptor query scatter-gather:
+// the bag's per-descriptor searches batch across every shard, merged
+// per-descriptor neighbor lists vote for source images through the same
+// aggregation as Index.MultiSearch, and the per-descriptor chunk budget
+// applies per shard.
+func (sx *ShardedIndex) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
+	maxChunks := opts.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 3
+	}
+	res, err := sx.router.MultiQuery(descriptors, multiquery.Options{
+		K:            opts.K,
+		Stop:         search.ChunkBudget(maxChunks),
+		RankWeighted: opts.RankWeighted,
+		Overlap:      opts.Overlap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,239 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// compareResults fails unless got and want agree on everything the
+// byte-identity contract pins: IDs, distances, ChunksRead, Simulated and
+// Exact (Wall is real time and exempt).
+func compareResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.ChunksRead != want.ChunksRead || got.Simulated != want.Simulated || got.Exact != want.Exact {
+		t.Fatalf("%s: (chunks %d, sim %v, exact %v) != (chunks %d, sim %v, exact %v)",
+			label, got.ChunksRead, got.Simulated, got.Exact, want.ChunksRead, want.Simulated, want.Exact)
+	}
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("%s: %d neighbors != %d", label, len(got.Neighbors), len(want.Neighbors))
+	}
+	for i := range want.Neighbors {
+		if got.Neighbors[i] != want.Neighbors[i] {
+			t.Fatalf("%s rank %d: %+v != %+v", label, i, got.Neighbors[i], want.Neighbors[i])
+		}
+	}
+}
+
+// TestShardedIndexOneShardMatchesIndex pins the facade-level equivalence:
+// a 1-shard ShardedIndex returns byte-identical results to Index under
+// all three stop rules, both in memory and through the on-disk round
+// trip (Save/Open vs ShardedIndex.Save/OpenSharded).
+func TestShardedIndexOneShardMatchesIndex(t *testing.T) {
+	coll := GenerateCollection(6000, 51)
+	cfg := BuildConfig{Strategy: StrategySRTree, ChunkSize: 250}
+	idx, err := Build(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	sx, err := BuildSharded(coll, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	if sx.Shards() != 1 || sx.Chunks() != idx.Chunks() || sx.Len() != idx.Len() {
+		t.Fatalf("1-shard shape: shards=%d chunks=%d/%d len=%d/%d",
+			sx.Shards(), sx.Chunks(), idx.Chunks(), sx.Len(), idx.Len())
+	}
+
+	dir := t.TempDir()
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+
+	allOpts := []SearchOptions{
+		{K: 20},
+		{K: 20, MaxChunks: 4},
+		{K: 20, MaxTime: 80 * time.Millisecond},
+	}
+	for _, opts := range allOpts {
+		for _, qi := range []int{0, 17, 999, 5999} {
+			q := coll.Vec(qi)
+			want, err := idx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, "mem", got, want)
+			got, err = fx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, "file", got, want)
+		}
+
+		// Batch path agrees too.
+		queries, err := DatasetQueries(coll, 12, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBatch := make([]Result, len(queries))
+		gotBatch := make([]Result, len(queries))
+		if err := idx.SearchBatchInto(queries, BatchOptions{SearchOptions: opts}, wantBatch); err != nil {
+			t.Fatal(err)
+		}
+		if err := sx.SearchBatchInto(queries, BatchOptions{SearchOptions: opts}, gotBatch); err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			compareResults(t, "batch", &gotBatch[qi], &wantBatch[qi])
+		}
+	}
+
+	// Multi-descriptor queries score images identically through one shard.
+	bag := make([]Vector, 24)
+	for i := range bag {
+		bag[i] = coll.Vec(i * 113)
+	}
+	want, err := idx.MultiSearch(bag, MultiSearchOptions{K: 8, MaxChunks: 3, RankWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sx.MultiSearch(bag, MultiSearchOptions{K: 8, MaxChunks: 3, RankWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Images) != len(want.Images) || got.Simulated != want.Simulated || got.ChunksRead != want.ChunksRead {
+		t.Fatalf("multi: (%d images, sim %v, chunks %d) != (%d, %v, %d)",
+			len(got.Images), got.Simulated, got.ChunksRead, len(want.Images), want.Simulated, want.ChunksRead)
+	}
+	for i := range want.Images {
+		if got.Images[i] != want.Images[i] {
+			t.Fatalf("multi image %d: %+v != %+v", i, got.Images[i], want.Images[i])
+		}
+	}
+}
+
+// TestShardedIndexCompletionIsExact pins the facade's global-exactness
+// claim at S=4: run-to-completion scatter-gather equals the scan oracle.
+func TestShardedIndexCompletionIsExact(t *testing.T) {
+	coll := GenerateCollection(5000, 53)
+	sx, err := BuildSharded(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	for _, qi := range []int{3, 444, 4999} {
+		q := coll.Vec(qi)
+		res, err := sx.Search(q, SearchOptions{K: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Fatalf("q%d: completion not exact", qi)
+		}
+		truth := Exact(coll, q, 30)
+		if len(res.Neighbors) != len(truth) {
+			t.Fatalf("q%d: %d neighbors vs oracle %d", qi, len(res.Neighbors), len(truth))
+		}
+		for i := range truth {
+			if res.Neighbors[i] != truth[i] {
+				t.Fatalf("q%d rank %d: %+v != oracle %+v", qi, i, res.Neighbors[i], truth[i])
+			}
+		}
+	}
+}
+
+// TestShardedIndexSaveOpenRoundTrip pins the sharded on-disk story: an
+// S-shard index reopened from its manifest serves byte-identical results
+// at the build page size, at every stop rule.
+func TestShardedIndexSaveOpenRoundTrip(t *testing.T) {
+	coll := GenerateCollection(4000, 57)
+	cfg := BuildConfig{Strategy: StrategySRTree, ChunkSize: 180, PageSize: 2048}
+	sx, err := BuildSharded(coll, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	dir := t.TempDir()
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	fx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+	if fx.Shards() != 3 || fx.Chunks() != sx.Chunks() || fx.Len() != sx.Len() {
+		t.Fatalf("reopened shape: shards=%d chunks=%d/%d len=%d/%d",
+			fx.Shards(), fx.Chunks(), sx.Chunks(), fx.Len(), sx.Len())
+	}
+	for _, opts := range []SearchOptions{{K: 15}, {K: 15, MaxChunks: 2}} {
+		for _, qi := range []int{9, 876, 3999} {
+			q := coll.Vec(qi)
+			want, err := sx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, "roundtrip", got, want)
+		}
+	}
+
+	// Only built indexes can be saved.
+	if err := fx.Save(t.TempDir()); err == nil {
+		t.Fatal("saving a file-opened sharded index succeeded")
+	}
+}
+
+// TestSaveHonorsBuildPageSize pins the Save page-size satellite: an index
+// built with a non-default page size writes its files at that page size,
+// so the reopened index has byte-identical simulated timings (chunk
+// padding feeds the cost model's transfer term).
+func TestSaveHonorsBuildPageSize(t *testing.T) {
+	coll := GenerateCollection(3000, 59)
+	for _, pageSize := range []int{0, 2048, 16384} {
+		idx, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 150, PageSize: pageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		cp, ip := dir+"/x.chunk", dir+"/x.idx"
+		if err := idx.Save(cp, ip); err != nil {
+			t.Fatal(err)
+		}
+		reopened, err := Open(cp, ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qi := range []int{1, 500, 2999} {
+			q := coll.Vec(qi)
+			want, err := idx.Search(q, SearchOptions{K: 10, MaxChunks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reopened.Search(q, SearchOptions{K: 10, MaxChunks: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Simulated != want.Simulated {
+				t.Fatalf("page %d q%d: reopened Simulated %v != built %v",
+					pageSize, qi, got.Simulated, want.Simulated)
+			}
+			compareResults(t, "pagesize", got, want)
+		}
+		reopened.Close()
+		idx.Close()
+	}
+}
