@@ -10,13 +10,14 @@
 //
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_3.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_4.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/vec"
 )
 
 type measurement struct {
@@ -56,17 +58,79 @@ func withStats(m measurement, results []repro.Result) measurement {
 	return m
 }
 
+// kernelThroughput is one backend's distance-kernel bandwidth: descriptor
+// bytes streamed per second through the two scan kernels (dims=24,
+// 4096-row backing for the single-query kernel, 16 queries × 256-row
+// blocks — the batch engine's shape — for the multi kernel).
+type kernelThroughput struct {
+	SquaredDistancesToGBps    float64 `json:"squared_distances_to_gbps"`
+	SquaredDistancesMultiGBps float64 `json:"squared_distances_multi_gbps"`
+}
+
 type snapshot struct {
-	Schema      int                    `json:"schema"`
-	CreatedUnix int64                  `json:"created_unix"`
-	GoVersion   string                 `json:"go_version"`
-	GOMAXPROCS  int                    `json:"gomaxprocs"`
-	N           int                    `json:"collection_size"`
-	ChunkSize   int                    `json:"chunk_size"`
-	K           int                    `json:"k"`
-	Seed        int64                  `json:"seed"`
-	Shards      int                    `json:"shards"`
-	Benchmarks  map[string]measurement `json:"benchmarks"`
+	Schema      int    `json:"schema"`
+	CreatedUnix int64  `json:"created_unix"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	N           int    `json:"collection_size"`
+	ChunkSize   int    `json:"chunk_size"`
+	K           int    `json:"k"`
+	Seed        int64  `json:"seed"`
+	Shards      int    `json:"shards"`
+	// VecBackend is the kernel backend (vec.Backend()) the library
+	// benchmarks below ran on; Kernels holds raw kernel bandwidth for
+	// every backend this CPU can run, so a snapshot records both the
+	// dispatch pick and the per-backend headroom it picked from.
+	VecBackend string                      `json:"vec_backend"`
+	Kernels    map[string]kernelThroughput `json:"kernels"`
+	Benchmarks map[string]measurement      `json:"benchmarks"`
+}
+
+// kernelSnapshots measures every available kernel backend's bandwidth,
+// restoring the dispatch pick before returning.
+func kernelSnapshots() map[string]kernelThroughput {
+	const dims, rows, nq, mrows = 24, 4096, 16, 256
+	r := rand.New(rand.NewSource(1))
+	backing := make([]float32, rows*dims)
+	for i := range backing {
+		backing[i] = float32(r.NormFloat64())
+	}
+	queries := make([]float32, nq*dims)
+	for i := range queries {
+		queries[i] = float32(r.NormFloat64())
+	}
+	q := vec.Vector(queries[:dims])
+	out := make([]float64, nq*rows)
+
+	active := vec.Backend()
+	defer func() {
+		if err := vec.UseBackend(active); err != nil {
+			panic(err)
+		}
+	}()
+	gbps := func(bytesPerOp int64, run func()) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+		return float64(bytesPerOp) / float64(res.NsPerOp())
+	}
+	kernels := make(map[string]kernelThroughput)
+	for _, name := range vec.Backends() {
+		if err := vec.UseBackend(name); err != nil {
+			panic(err)
+		}
+		kernels[name] = kernelThroughput{
+			SquaredDistancesToGBps: gbps(rows*dims*4, func() {
+				vec.SquaredDistancesTo(q, backing, dims, out)
+			}),
+			SquaredDistancesMultiGBps: gbps(nq*mrows*dims*4, func() {
+				vec.SquaredDistancesMulti(queries, backing[:mrows*dims], dims, out)
+			}),
+		}
+	}
+	return kernels
 }
 
 func toMeasurement(r testing.BenchmarkResult) measurement {
@@ -85,7 +149,7 @@ func main() {
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 4, "shard count for the sharded benchmarks")
-	out := flag.String("out", "BENCH_3.json", "output path")
+	out := flag.String("out", "BENCH_4.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -109,7 +173,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:      1,
+		Schema:      2,
 		CreatedUnix: time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -118,6 +182,8 @@ func main() {
 		K:           *k,
 		Seed:        *seed,
 		Shards:      *shards,
+		VecBackend:  vec.Backend(),
+		Kernels:     kernelSnapshots(),
 		Benchmarks:  map[string]measurement{},
 	}
 
@@ -287,7 +353,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap: write:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s (vec backend %s)\n", *out, snap.VecBackend)
+	kNames := make([]string, 0, len(snap.Kernels))
+	for name := range snap.Kernels {
+		kNames = append(kNames, name)
+	}
+	sort.Strings(kNames)
+	for _, name := range kNames {
+		kt := snap.Kernels[name]
+		fmt.Printf("  kernel %-10s %6.2f GB/s dists-to  %6.2f GB/s dists-multi\n",
+			name, kt.SquaredDistancesToGBps, kt.SquaredDistancesMultiGBps)
+	}
 	names := make([]string, 0, len(snap.Benchmarks))
 	for name := range snap.Benchmarks {
 		names = append(names, name)

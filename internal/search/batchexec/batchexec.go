@@ -371,10 +371,11 @@ const scanBlock = 256
 // scanGroup scans one decoded chunk for several queries. Queries whose
 // k-NN set is still filling need full distances anyway, so they share one
 // SquaredDistancesMulti call per row block — the chunk's rows are loaded
-// once for all of them. Queries with a full heap keep the single-query
-// path's partial-distance early abandonment, back to back while the
-// chunk is hot. Both branches produce the exact heap contents the
-// single-query ScanChunk would.
+// once for all of them. Queries with a full heap run the single-query
+// path's ScanChunk back to back while the chunk is hot (full-row scans on
+// SIMD backends, partial-distance early abandonment on the portable one —
+// see vec.PrefersFullScan). Both branches produce the exact heap contents
+// the single-query ScanChunk would.
 func (a *arena) scanGroup(ws *workerScratch, members []pair) {
 	data := &ws.data
 	dims := a.dims

@@ -299,16 +299,20 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 // ScanChunk offers every descriptor of the chunk to the heap — step 2 of
 // the paper's algorithm. While the heap is still filling, the batch
 // kernel computes all squared distances over the chunk's contiguous
-// backing array; once a k-th bound exists, per-descriptor partial
-// distances abandon as soon as the running sum exceeds it. The d2 scratch
+// backing array; once a k-th bound exists, the strategy follows the
+// active vec backend: SIMD backends stream full rows through the batch
+// kernel (vec.PrefersFullScan — their bandwidth beats abandonment's
+// element savings), the portable backend abandons per-descriptor partial
+// distances as soon as the running sum exceeds the bound. The d2 scratch
 // is reused when large enough and the (possibly grown) buffer is
 // returned, so steady-state callers never allocate. The final heap
 // contents do not depend on which branch ran: abandoned candidates are
-// exactly those the heap would reject.
+// exactly those the heap would reject, so all three branches produce
+// byte-identical results.
 func ScanChunk(q vec.Vector, dims int, data *chunkfile.Data, heap *knn.Heap, d2 []float64) []float64 {
 	n := data.Len()
 	vecs := data.Vecs
-	if !heap.Full() {
+	if !heap.Full() || vec.PrefersFullScan() {
 		if cap(d2) < n {
 			d2 = make([]float64, n)
 		}

@@ -1,0 +1,79 @@
+//go:build amd64
+
+package vec
+
+// Assembly kernels (kernels_amd64.s). All of them implement the
+// accumulation contract documented in kernels.go: 4 float32 lanes, element
+// i into lane i&3, lanes combined (s0+s1)+(s2+s3), widened to float64
+// last, no FMA. SSE2 is the amd64 baseline so sqDistsToSSE2/sqPartialSSE2
+// run on every amd64 CPU; the AVX2 variant is selected only when CPUID
+// reports AVX2 plus OS support for YMM state.
+
+//go:noescape
+func sqDistsToSSE2(q, backing []float32, dims, rows int, out []float64)
+
+//go:noescape
+func sqDistsToAVX2(q, backing []float32, dims, rows int, out []float64)
+
+//go:noescape
+func sqPartialSSE2(a, b []float32, bound float64) float64
+
+// cpuid and xgetbv0 (cpu_amd64.s) expose the CPUID / XGETBV instructions
+// for feature detection. Implemented in-repo: the module deliberately has
+// no external dependencies, so golang.org/x/sys/cpu is not an option.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 reports whether the CPU and OS support AVX2: AVX + OSXSAVE in
+// CPUID.1:ECX, XMM+YMM state enabled in XCR0, and AVX2 in CPUID.7.0:EBX.
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsaveAndAVX = 1<<27 | 1<<28
+	if c1&osxsaveAndAVX != osxsaveAndAVX {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0
+}
+
+func squaredDistancesToSSE2(q, backing []float32, dims int, out []float64) {
+	sqDistsToSSE2(q, backing, dims, len(backing)/dims, out)
+}
+
+func squaredDistancesToAVX2(q, backing []float32, dims int, out []float64) {
+	sqDistsToAVX2(q, backing, dims, len(backing)/dims, out)
+}
+
+// archKernels reports the assembly backends usable on this CPU, slowest
+// first. The partial field holds the asm entry point itself — the kernel
+// runs once per row in full-heap scans, so an extra Go wrapper frame
+// would be a measurable fraction of its ~40ns of work. Partial-distance
+// scans also stay on the 128-bit kernel even under AVX2: within one row
+// the accumulation contract pins the arithmetic to four lanes, so wider
+// registers only ever help across rows.
+func archKernels() []kernelBackend {
+	ks := []kernelBackend{{
+		name:       "sse2",
+		distsTo:    squaredDistancesToSSE2,
+		distsMulti: multiFrom(sqDistsToSSE2),
+		partial:    sqPartialSSE2,
+		fullScan:   true,
+	}}
+	if hasAVX2() {
+		ks = append(ks, kernelBackend{
+			name:       "avx2",
+			distsTo:    squaredDistancesToAVX2,
+			distsMulti: multiFrom(sqDistsToAVX2),
+			partial:    sqPartialSSE2,
+			fullScan:   true,
+		})
+	}
+	return ks
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package vec
+
+// archKernels reports the architecture-specific kernel backends usable on
+// this CPU, slowest first. On architectures without an assembly backend
+// only the portable reference is available.
+func archKernels() []kernelBackend { return nil }

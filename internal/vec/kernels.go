@@ -1,15 +1,25 @@
 package vec
 
-import "fmt"
-
-// This file holds the distance kernels every search backend in the
-// repository is built on. All of them share one accumulation scheme —
-// element i feeds float32 lane i&3, the four lanes are combined as
-// (s0+s1)+(s2+s3) and widened to float64 last — so any two kernels
-// computing the same full distance produce bit-identical results. That
-// bit-identity is what lets independently implemented backends (chunk
-// search, sequential scan, SR-tree, VA-File, ...) agree exactly on
-// neighbor sets, tie order included.
+// This file holds the portable reference implementations of the distance
+// kernels every search backend in the repository is built on. The exported
+// entry points (SquaredDistancesTo, SquaredDistancesMulti,
+// PartialSquaredDistance) live in dispatch.go and route to either these
+// functions or to the architecture-specific assembly backends declared in
+// dispatch_amd64.go / dispatch_arm64.go.
+//
+// THE ACCUMULATION CONTRACT (binding for every backend, asm included):
+// element i of the difference vector feeds float32 accumulator lane i&3,
+// the four lanes are combined as (s0+s1)+(s2+s3), and the sum is widened
+// to float64 only after that combine. No FMA — a fused multiply-add
+// rounds once where the portable kernel rounds twice, which would break
+// byte-identity between backends. Under this scheme one 128-bit float32
+// register *is* the four accumulators, so a SIMD backend reproduces the
+// portable kernel bit for bit by construction; wider registers may only
+// add parallelism *across rows* (one 4-lane scheme per 128-bit half),
+// never across more lanes of the same row. That bit-identity is what lets
+// independently implemented backends (chunk search, sequential scan,
+// SR-tree, VA-File, ...) agree exactly on neighbor sets, tie order
+// included, no matter which CPU the process landed on.
 
 // squaredDist24 is the fully unrolled kernel for the paper's 24-d
 // descriptors. It matches squaredDistGeneric(a[:24], b[:24]) bit for bit.
@@ -31,7 +41,7 @@ func squaredDist24(a, b Vector) float64 {
 }
 
 // squaredDistGeneric is the 4-way unrolled kernel for arbitrary
-// dimensionality.
+// dimensionality. Tail elements (dims % 4 != 0) all feed lane 0.
 func squaredDistGeneric(a, b Vector) float64 {
 	var s0, s1, s2, s3 float32
 	i, n := 0, len(a)
@@ -60,23 +70,10 @@ func squaredDist(a, b Vector) float64 {
 	return squaredDistGeneric(a, b)
 }
 
-// SquaredDistancesTo computes the squared distance from q to every row of
-// the flattened backing array (len(backing)/dims rows of dims float32s
-// each, the layout of chunkfile.Data.Vecs and descriptor.Collection) and
-// stores them in out. It panics if out is shorter than the row count or
-// backing is not a whole number of rows. Each out[i] is bit-identical to
-// SquaredDistance(q, row_i).
-func SquaredDistancesTo(q Vector, backing []float32, dims int, out []float64) {
-	if len(q) != dims {
-		panic(fmt.Sprintf("vec: query dims %d != row dims %d", len(q), dims))
-	}
-	if dims <= 0 || len(backing)%dims != 0 {
-		panic(fmt.Sprintf("vec: backing length %d is not a multiple of dims %d", len(backing), dims))
-	}
+// squaredDistancesToPortable is the portable backend for
+// SquaredDistancesTo. Arguments are pre-validated by the dispatcher.
+func squaredDistancesToPortable(q, backing []float32, dims int, out []float64) {
 	n := len(backing) / dims
-	if len(out) < n {
-		panic(fmt.Sprintf("vec: out length %d < %d rows", len(out), n))
-	}
 	if dims == Dims {
 		for i := 0; i < n; i++ {
 			out[i] = squaredDist24(q, backing[i*Dims:(i+1)*Dims])
@@ -88,46 +85,47 @@ func SquaredDistancesTo(q Vector, backing []float32, dims int, out []float64) {
 	}
 }
 
-// SquaredDistancesMulti computes the squared distance from every query of
-// the flattened queries array (len(queries)/dims queries of dims float32s
-// each) to every row of backing (the layout of chunkfile.Data.Vecs),
-// writing the distances for query qi to out[qi*n : (qi+1)*n] where n is
-// the row count of backing. It is the batch engine's kernel: the rows of
-// one chunk stay hot in cache while Q queries scan them (callers pass
-// row blocks small enough to fit in L1). Every out value is bit-identical
-// to SquaredDistance(query_qi, row_i) because the kernel delegates to the
-// same accumulation scheme as every other kernel in this file.
-func SquaredDistancesMulti(queries, backing []float32, dims int, out []float64) {
-	if dims <= 0 || len(queries)%dims != 0 {
-		panic(fmt.Sprintf("vec: queries length %d is not a multiple of dims %d", len(queries), dims))
-	}
-	if len(backing)%dims != 0 {
-		panic(fmt.Sprintf("vec: backing length %d is not a multiple of dims %d", len(backing), dims))
-	}
+// multiRowTile is the row tile of the portable batch kernel: 64 rows of
+// 24-d float32 are 6 KiB, so one tile stays L1-resident while every query
+// of the batch streams over it before the kernel moves to the next tile.
+const multiRowTile = 64
+
+// squaredDistancesMultiPortable is the portable backend for
+// SquaredDistancesMulti: a row-tiled two-level loop (tiles outer, queries
+// inner) so each tile of rows is scanned by all queries while cache-hot.
+// Tiling only reorders *which* (query, row) pair is computed when — every
+// out value is still produced by the one shared accumulation scheme, so
+// results are bit-identical to the per-query delegation it replaced.
+func squaredDistancesMultiPortable(queries, backing []float32, dims int, out []float64) {
 	nq := len(queries) / dims
 	n := len(backing) / dims
-	if len(out) < nq*n {
-		panic(fmt.Sprintf("vec: out length %d < %d queries × %d rows", len(out), nq, n))
-	}
-	for qi := 0; qi < nq; qi++ {
-		SquaredDistancesTo(Vector(queries[qi*dims:(qi+1)*dims]), backing, dims, out[qi*n:(qi+1)*n])
+	for r0 := 0; r0 < n; r0 += multiRowTile {
+		r1 := r0 + multiRowTile
+		if r1 > n {
+			r1 = n
+		}
+		for qi := 0; qi < nq; qi++ {
+			q := Vector(queries[qi*dims : (qi+1)*dims])
+			row := out[qi*n : (qi+1)*n]
+			if dims == Dims {
+				for i := r0; i < r1; i++ {
+					row[i] = squaredDist24(q, backing[i*Dims:(i+1)*Dims])
+				}
+			} else {
+				for i := r0; i < r1; i++ {
+					row[i] = squaredDistGeneric(q, backing[i*dims:(i+1)*dims])
+				}
+			}
+		}
 	}
 }
 
-// PartialSquaredDistance computes the squared distance between a and b,
-// abandoning early once the partial sum exceeds bound (a squared
-// distance). When the true squared distance is ≤ bound the exact value is
-// returned, bit-identical to SquaredDistance(a, b); otherwise some value
-// strictly greater than bound is returned (the partial sum at the point of
-// abandonment). Callers pruning against a current k-th-neighbor bound pass
-// that bound and discard any result exceeding it.
-//
-// The bound checks never alter the accumulators, so whether or not checks
-// run, a non-abandoned result is exact.
-func PartialSquaredDistance(a, b Vector, bound float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
-	}
+// partialSquaredDistancePortable is the portable backend for
+// PartialSquaredDistance. The bound is checked once per 8 elements (two
+// 4-lane blocks); the checks never alter the accumulators, so a
+// non-abandoned result is exact. Assembly backends must check at the same
+// element positions so even abandoned return values stay byte-identical.
+func partialSquaredDistancePortable(a, b []float32, bound float64) float64 {
 	var s0, s1, s2, s3 float32
 	i, n := 0, len(a)
 	for ; i+8 <= n; i += 8 {

@@ -1,0 +1,181 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// Handwritten NEON kernels, a direct transliteration of the SSE2 kernels
+// in kernels_amd64.s under the same binding contract (kernels.go):
+// element i feeds float32 lane i&3 of one 128-bit accumulator, lanes
+// combine as (s0+s1)+(s2+s3), widen to float64 last, and no FMA — FMLA
+// would fuse the rounding and break byte-identity with the portable
+// backend, so the kernels use separate FMUL/FADD steps.
+//
+// The Go assembler has no mnemonics for the AArch64 vector float ops, so
+// those four instructions are emitted as WORD constants. Encodings were
+// produced and cross-checked with llvm-mc ("fsub v1.4s, v1.4s, v2.4s",
+// etc.); each macro names the instruction it stands for.
+
+#define FSUB_V1_V1_V2  WORD $0x4EA2D421 // fsub  v1.4s, v1.4s, v2.4s
+#define FMUL_V1_V1_V1  WORD $0x6E21DC21 // fmul  v1.4s, v1.4s, v1.4s
+#define FADD_V0_V0_V1  WORD $0x4E21D400 // fadd  v0.4s, v0.4s, v1.4s
+#define FADDP_V0_V0_V0 WORD $0x6E20D400 // faddp v0.4s, v0.4s, v0.4s
+#define FADDP_V3_V3_V3 WORD $0x6E23D463 // faddp v3.4s, v3.4s, v3.4s
+
+// func sqDistsToNEON(q, backing []float32, dims, rows int, out []float64)
+//
+// R0 = q base, R1 = current row, R2 = dims, R3 = rows left, R4 = out.
+// R7 = dims/4 vector blocks, R8 = dims&3 tail elements; R5/R6 are the
+// per-row q/row cursors (VLD1.P / FMOVS.P post-increment them).
+TEXT ·sqDistsToNEON(SB), NOSPLIT, $0-88
+	MOVD q_base+0(FP), R0
+	MOVD backing_base+24(FP), R1
+	MOVD dims+48(FP), R2
+	MOVD rows+56(FP), R3
+	MOVD out_base+64(FP), R4
+	LSR  $2, R2, R7
+	AND  $3, R2, R8
+
+rowloop:
+	CBZ  R3, done
+	VEOR V0.B16, V0.B16, V0.B16 // V0 = [s0 s1 s2 s3]
+	MOVD R0, R5
+	MOVD R1, R6
+	MOVD R7, R9
+
+vloop:
+	CBZ    R9, vdone
+	VLD1.P 16(R5), [V1.S4]
+	VLD1.P 16(R6), [V2.S4]
+	FSUB_V1_V1_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	SUB    $1, R9, R9
+	B      vloop
+
+vdone:
+	CBNZ R8, slowtail
+
+	// No tail: two pairwise adds give lane0 = (s0+s1)+(s2+s3).
+	FADDP_V0_V0_V0
+	FADDP_V0_V0_V0
+	FCVTSD F0, F10
+	B      store
+
+slowtail:
+	// Tail elements feed lane 0, so split the lanes into scalars first
+	// (scalar FP writes zero a V register's upper lanes, so s1..s3 must
+	// be extracted before the tail accumulates into s0).
+	VMOV  V0.S[0], R10
+	FMOVS R10, F10
+	VMOV  V0.S[1], R10
+	FMOVS R10, F11
+	VMOV  V0.S[2], R10
+	FMOVS R10, F12
+	VMOV  V0.S[3], R10
+	FMOVS R10, F13
+	MOVD  R8, R9
+
+tailloop:
+	FMOVS.P 4(R5), F1
+	FMOVS.P 4(R6), F2
+	FSUBS   F2, F1, F1
+	FMULS   F1, F1, F1
+	FADDS   F1, F10, F10
+	SUB     $1, R9, R9
+	CBNZ    R9, tailloop
+	FADDS   F11, F10, F10       // s0+s1
+	FADDS   F13, F12, F12       // s2+s3
+	FADDS   F12, F10, F10       // (s0+s1)+(s2+s3)
+	FCVTSD  F10, F10
+
+store:
+	FMOVD.P F10, 8(R4)
+	ADD     R2<<2, R1, R1       // next row
+	SUB     $1, R3, R3
+	B       rowloop
+
+done:
+	RET
+
+// func sqPartialNEON(a, b []float32, bound float64) float64
+//
+// Mirrors partialSquaredDistancePortable exactly: the bound is checked
+// once per 8 elements on a copy of the accumulators (V3; V0 is never
+// disturbed), so abandoned return values are byte-identical too.
+TEXT ·sqPartialNEON(SB), NOSPLIT, $0-64
+	MOVD  a_base+0(FP), R0
+	MOVD  b_base+24(FP), R1
+	MOVD  a_len+8(FP), R2
+	FMOVD bound+48(FP), F8
+	VEOR  V0.B16, V0.B16, V0.B16
+	LSR   $3, R2, R9            // 8-element blocks
+	AND   $7, R2, R10           // remainder after the 8-blocks
+
+loop8:
+	CBZ    R9, post8
+	VLD1.P 16(R0), [V1.S4]
+	VLD1.P 16(R1), [V2.S4]
+	FSUB_V1_V1_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R0), [V1.S4]
+	VLD1.P 16(R1), [V2.S4]
+	FSUB_V1_V1_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	SUB    $1, R9, R9
+
+	// bound check on a copy of the accumulators
+	VORR   V0.B16, V0.B16, V3.B16
+	FADDP_V3_V3_V3
+	FADDP_V3_V3_V3
+	FCVTSD F3, F9
+	FCMPD  F8, F9
+	BGT    abandon
+	B      loop8
+
+post8:
+	TBZ    $2, R10, lanes       // at most one unchecked 4-block remains
+	VLD1.P 16(R0), [V1.S4]
+	VLD1.P 16(R1), [V2.S4]
+	FSUB_V1_V1_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+
+lanes:
+	AND  $3, R10, R9            // scalar tail count
+	CBNZ R9, slowtail2
+	FADDP_V0_V0_V0
+	FADDP_V0_V0_V0
+	FCVTSD F0, F9
+	B      retsum
+
+slowtail2:
+	VMOV  V0.S[0], R11
+	FMOVS R11, F10
+	VMOV  V0.S[1], R11
+	FMOVS R11, F11
+	VMOV  V0.S[2], R11
+	FMOVS R11, F12
+	VMOV  V0.S[3], R11
+	FMOVS R11, F13
+
+ptail:
+	FMOVS.P 4(R0), F1
+	FMOVS.P 4(R1), F2
+	FSUBS   F2, F1, F1
+	FMULS   F1, F1, F1
+	FADDS   F1, F10, F10
+	SUB     $1, R9, R9
+	CBNZ    R9, ptail
+	FADDS   F11, F10, F10
+	FADDS   F13, F12, F12
+	FADDS   F12, F10, F10
+	FCVTSD  F10, F9
+
+retsum:
+	FMOVD F9, ret+56(FP)
+	RET
+
+abandon:
+	FMOVD F9, ret+56(FP)
+	RET
