@@ -360,3 +360,33 @@ func BenchmarkShardedSingleQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedGlobalBatchInto measures the global-budget batch path
+// on a 4-shard index: the 200-query workload runs on the merged global
+// chunk order with a total budget of 20 chunks per query — the same
+// chunk bill as BenchmarkShardedBatchInto's per-shard budget 5, spent on
+// the globally best-ranked chunks instead.
+func BenchmarkShardedGlobalBatchInto(b *testing.B) {
+	lab := getBenchLab(b)
+	sx, err := BuildSharded(lab.Coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 300}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sx.Close()
+	queries, err := DatasetQueries(lab.Coll, 200, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := BatchOptions{SearchOptions: SearchOptions{K: 30, MaxChunks: 20, GlobalBudget: true}}
+	results := make([]Result, len(queries))
+	if err := sx.SearchBatchInto(queries, opts, results); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sx.SearchBatchInto(queries, opts, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -129,6 +129,36 @@ func Comparators(lab *Lab) (*ComparatorsResult, error) {
 		})
 	}
 
+	// Global-budget sharded chunk search: the same four machines, but the
+	// stop rule spends one total budget across them in global
+	// centroid-rank order. At the matched total budget (4×b chunks) the
+	// global rows read the same chunks the unsharded engine would — same
+	// recall as the single-machine rows above at budget 4b — while the
+	// response time stays sharded (the chunks land on four parallel
+	// machines). This is the gap the per-shard rows leave open: per-shard
+	// budget b pays the 4×b bill for the *per-shard* top chunks, global
+	// budget 4b pays the same bill for the *globally* best chunks.
+	lab.Cfg.logf("comparators: sharded chunk search (global budget)...")
+	for _, budget := range []int{4, 8, 20} {
+		err := workload.RunShardedGlobal(router, queries, batchexec.Options{
+			K: k, Stop: search.ChunkBudget(budget), Overlap: true,
+		}, chunkResults)
+		if err != nil {
+			return nil, err
+		}
+		var recall, secs float64
+		for qi := range chunkResults {
+			recall += recallOf(qi, chunkResults[qi].Neighbors)
+			secs += chunkResults[qi].Elapsed.Seconds()
+		}
+		res.Rows = append(res.Rows, ComparatorRow{
+			Method: fmt.Sprintf("chunk-search/SR-%dshard-global", comparatorShards),
+			Param:  fmt.Sprintf("chunks=%d total", budget),
+			Recall: recall / float64(len(queries)),
+			SimSec: secs / float64(len(queries)),
+		})
+	}
+
 	// VA-File: exact and visit-budgeted. Simulated cost: one sequential
 	// scan of the approximation file plus a bound computation per
 	// descriptor (phase 1), then one random read and one distance per

@@ -22,7 +22,12 @@
 //   - Simulated timing is per query: every query owns a simdisk.Pipeline
 //     charged with exactly the chunks it consumed, in its rank order.
 //     Batch code must never share or wall-aggregate simulated time — the
-//     model is one 2005 machine per query.
+//     model is one 2005 machine per query. When Options.Shards maps the
+//     store's chunks onto several simulated machines (the shard router's
+//     global-budget mode), a query owns one pipeline per machine instead,
+//     each seeded with that machine's own index-read time; chunks are
+//     charged to their owning machine and the query's Elapsed is the max
+//     over its machines, which run in parallel.
 //
 // All per-query state (ranked order cursor, suffix bounds, knn.Heap,
 // pipeline) lives in a pooled batch-owned arena, and result neighbor
@@ -61,6 +66,27 @@ type Options struct {
 	// Parallelism caps the concurrency of this run: <=0 means GOMAXPROCS,
 	// 1 runs entirely on the calling goroutine.
 	Parallelism int
+	// Shards, when non-nil, maps every store chunk to the simulated
+	// machine serving it (len must equal the store's chunk count) and
+	// switches the cost model from one 2005 machine per query to one
+	// machine per (query, shard): each query then owns one
+	// simdisk.Pipeline per machine, a chunk is charged to its owning
+	// machine's pipeline in the query's own rank order over that machine's
+	// chunks, and the Elapsed consulted by the stop rule (and reported in
+	// the Result) is the max over the query's machines — they run in
+	// parallel. Each machine pays its own index read for its own chunk
+	// count before serving, so a machine mapping reproduces exactly the
+	// per-shard pipelines the shard router's global-budget mode specifies.
+	// A nil Shards is the single-machine model, byte-identical to the
+	// engine's original behavior. Stop rules observe the *global*
+	// chunksRead, so a ChunkBudget spends one total budget across the
+	// machines.
+	Shards []int32
+	// NumShards is the machine count when Shards is non-nil: 0 means one
+	// more than the highest mapped machine. Setting it higher models
+	// trailing machines that hold no chunks but still pay their (empty)
+	// index read toward the max. Ignored when Shards is nil.
+	NumShards int
 }
 
 // QueryError reports which query of a batch failed.
@@ -99,7 +125,10 @@ type queryState struct {
 	ranked []search.RankedChunk
 	suffix []float64
 	heap   *knn.Heap
-	pipe   simdisk.Pipeline
+	// pipes is one simulated machine per shard of the run (a single
+	// machine when Options.Shards is nil). Chunks are charged to their
+	// owning machine; the query's Elapsed is the max over the machines.
+	pipes  []simdisk.Pipeline
 	cursor int // position in ranked of the next chunk this query wants
 	done   bool
 	res    *search.Result
@@ -138,6 +167,12 @@ type arena struct {
 	dims  int
 	stop  search.StopRule
 	start time.Time
+	// machines is the run's chunk→machine mapping (nil = one machine);
+	// inits holds each machine's index-read time, the initial value of
+	// every query's pipeline on that machine.
+	machines []int32
+	inits    []time.Duration
+	counts   []int // per-machine chunk counts (index-read sizing scratch)
 
 	states   []queryState
 	live     []int32
@@ -207,7 +242,56 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 	a.failed.Store(false)
 	a.err = nil
 
-	indexRead := model.IndexReadTime(len(a.metas), chunkfile.EntrySize(dims))
+	// Resolve the machine layout: one machine (the original model) unless
+	// a shard mapping splits the store across simulated machines, each
+	// paying the index read for its own chunk count.
+	a.machines = opts.Shards
+	numMachines := 1
+	if a.machines != nil {
+		if len(a.machines) != len(a.metas) {
+			a.machines = nil
+			return fmt.Errorf("batchexec: shards mapping length %d != chunk count %d", len(opts.Shards), len(a.metas))
+		}
+		for ci, m := range a.machines {
+			if m < 0 || (opts.NumShards > 0 && int(m) >= opts.NumShards) {
+				a.machines = nil
+				return fmt.Errorf("batchexec: chunk %d mapped to machine %d outside [0,%d)", ci, m, opts.NumShards)
+			}
+			if int(m)+1 > numMachines {
+				numMachines = int(m) + 1
+			}
+		}
+		if opts.NumShards > numMachines {
+			numMachines = opts.NumShards
+		}
+	}
+	if cap(a.inits) < numMachines {
+		a.inits = make([]time.Duration, numMachines)
+	}
+	a.inits = a.inits[:numMachines]
+	entrySize := chunkfile.EntrySize(dims)
+	indexRead := time.Duration(0) // max over machines: they rank concurrently
+	if a.machines == nil {
+		a.inits[0] = model.IndexReadTime(len(a.metas), entrySize)
+		indexRead = a.inits[0]
+	} else {
+		if cap(a.counts) < numMachines {
+			a.counts = make([]int, numMachines)
+		}
+		counts := a.counts[:numMachines]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, m := range a.machines {
+			counts[m]++
+		}
+		for mi, c := range counts {
+			a.inits[mi] = model.IndexReadTime(c, entrySize)
+			if a.inits[mi] > indexRead {
+				indexRead = a.inits[mi]
+			}
+		}
+	}
 
 	// Per-query setup: rank the chunks, compute suffix bounds, reset the
 	// heap and the simulated pipeline, seed the result.
@@ -231,7 +315,13 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 		} else {
 			st.heap.Reset(opts.K)
 		}
-		st.pipe.Reset(model, opts.Overlap, indexRead)
+		if cap(st.pipes) < numMachines {
+			st.pipes = make([]simdisk.Pipeline, numMachines)
+		}
+		st.pipes = st.pipes[:numMachines]
+		for mi := range st.pipes {
+			st.pipes[mi].Reset(model, opts.Overlap, a.inits[mi])
+		}
 		st.cursor = 0
 		st.done = false
 		st.res = res
@@ -312,13 +402,15 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 	return nil
 }
 
-// release drops the arena's references into caller memory (queries and
-// results) so pooling the arena does not retain them.
+// release drops the arena's references into caller memory (queries,
+// results, and the shard mapping) so pooling the arena does not retain
+// them.
 func (a *arena) release() {
 	for i := range a.states {
 		a.states[i].q = nil
 		a.states[i].res = nil
 	}
+	a.machines = nil
 }
 
 // processGroup reads and decodes the group's chunk once, scans it for
@@ -339,10 +431,21 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 	} else {
 		a.scanGroup(ws, members)
 	}
+	machine := int32(0)
+	if a.machines != nil {
+		machine = a.machines[chunk]
+	}
 	for _, p := range members {
 		st := &a.states[p.state]
 		res := st.res
-		elapsed := st.pipe.Chunk(m.Bytes, m.Count)
+		// Charge the chunk to its owning machine's pipeline; the elapsed
+		// the stop rule sees is the max over the query's machines (they
+		// run in parallel). With one machine the max is the pipeline
+		// itself, so the single-machine path is unchanged.
+		elapsed := st.pipes[machine].Chunk(m.Bytes, m.Count)
+		if elapsed < res.Elapsed {
+			elapsed = res.Elapsed
+		}
 		res.ChunksRead++
 		res.Elapsed = elapsed
 		pos := st.cursor

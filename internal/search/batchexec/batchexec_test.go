@@ -9,6 +9,7 @@ import (
 	"repro/internal/chunkfile"
 	"repro/internal/imagegen"
 	"repro/internal/search"
+	"repro/internal/simdisk"
 	"repro/internal/srtree"
 	"repro/internal/vec"
 )
@@ -206,5 +207,104 @@ func TestBatchEdges(t *testing.T) {
 	}
 	if err := eng.Run(queries, Options{}, make([]search.Result, 1)); err == nil {
 		t.Fatal("mismatched results length accepted")
+	}
+}
+
+// TestBatchShardMapping pins the machine-mapped cost model: with every
+// chunk assigned to one of M simulated machines, a query's Elapsed is
+// the max over its machines' pipelines (each seeded with its own
+// index-read time for its own chunk count), chunk charges land on the
+// owning machine in the query's rank order, and neighbors are unchanged
+// (the mapping moves time, never results). A mapping onto one machine is
+// byte-identical to the unmapped engine. Invalid mappings are rejected.
+func TestBatchShardMapping(t *testing.T) {
+	mem, _, queries := buildStores(t)
+	eng := New(mem, nil)
+	metas := mem.Meta()
+	queries = queries[:12]
+
+	base := make([]search.Result, len(queries))
+	if err := eng.Run(queries, Options{K: 10, Stop: search.ChunkBudget(6)}, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// One machine, explicitly mapped: byte-identical to no mapping.
+	oneMachine := make([]int32, len(metas))
+	got := make([]search.Result, len(queries))
+	if err := eng.Run(queries, Options{K: 10, Stop: search.ChunkBudget(6), Shards: oneMachine}, got); err != nil {
+		t.Fatal(err)
+	}
+	for qi := range got {
+		if got[qi].Elapsed != base[qi].Elapsed || got[qi].IndexRead != base[qi].IndexRead ||
+			got[qi].ChunksRead != base[qi].ChunksRead {
+			t.Fatalf("q%d: 1-machine mapping (%v, %v, %d) != unmapped (%v, %v, %d)", qi,
+				got[qi].Elapsed, got[qi].IndexRead, got[qi].ChunksRead,
+				base[qi].Elapsed, base[qi].IndexRead, base[qi].ChunksRead)
+		}
+		for i := range base[qi].Neighbors {
+			if got[qi].Neighbors[i] != base[qi].Neighbors[i] {
+				t.Fatalf("q%d rank %d mismatch under 1-machine mapping", qi, i)
+			}
+		}
+	}
+
+	// Three machines, round-robin: neighbors and ChunksRead unchanged,
+	// Elapsed is the max of per-machine replays of the same charges.
+	const machines = 3
+	mapping := make([]int32, len(metas))
+	for i := range mapping {
+		mapping[i] = int32(i % machines)
+	}
+	if err := eng.Run(queries, Options{K: 10, Stop: search.ChunkBudget(6), Shards: mapping, NumShards: machines}, got); err != nil {
+		t.Fatal(err)
+	}
+	model := simdisk.Default2005()
+	counts := make([]int, machines)
+	for _, m := range mapping {
+		counts[m]++
+	}
+	for qi, q := range queries {
+		if got[qi].ChunksRead != base[qi].ChunksRead {
+			t.Fatalf("q%d: mapped ChunksRead %d != %d", qi, got[qi].ChunksRead, base[qi].ChunksRead)
+		}
+		for i := range base[qi].Neighbors {
+			if got[qi].Neighbors[i] != base[qi].Neighbors[i] {
+				t.Fatalf("q%d rank %d mismatch under 3-machine mapping", qi, i)
+			}
+		}
+		// Replay: rank the chunks, walk the first ChunksRead of them, and
+		// charge per-machine pipelines by hand.
+		ranked := search.RankChunks(q, metas, nil)
+		pipes := make([]*simdisk.Pipeline, machines)
+		maxElapsed := time.Duration(0)
+		for m := 0; m < machines; m++ {
+			pipes[m] = simdisk.NewPipeline(model, false, model.IndexReadTime(counts[m], chunkfile.EntrySize(mem.Dims())))
+			if e := pipes[m].Elapsed(); e > maxElapsed {
+				maxElapsed = e
+			}
+		}
+		for _, rc := range ranked[:got[qi].ChunksRead] {
+			m := mapping[rc.Idx]
+			if e := pipes[m].Chunk(metas[rc.Idx].Bytes, metas[rc.Idx].Count); e > maxElapsed {
+				maxElapsed = e
+			}
+		}
+		if got[qi].Elapsed != maxElapsed {
+			t.Fatalf("q%d: mapped Elapsed %v != replayed max %v", qi, got[qi].Elapsed, maxElapsed)
+		}
+	}
+
+	// Invalid mappings are rejected up front.
+	if err := eng.Run(queries, Options{Shards: make([]int32, 1)}, got); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+	bad := make([]int32, len(metas))
+	bad[0] = -1
+	if err := eng.Run(queries, Options{Shards: bad}, got); err == nil {
+		t.Fatal("negative machine accepted")
+	}
+	bad[0] = int32(machines)
+	if err := eng.Run(queries, Options{Shards: bad, NumShards: machines}, got); err == nil {
+		t.Fatal("machine index >= NumShards accepted")
 	}
 }

@@ -13,6 +13,14 @@
 // ChunksRead is the *sum* of the work they did. Simulated time is never
 // wall-aggregated across shards or queries.
 //
+// Stop-rule budgets come in two disciplines on that one cost model: the
+// per-shard paths (Router.Search, RunBatch, MultiQuery) let every shard
+// spend the budget independently on its local chunk ranking, while the
+// global paths (Router.SearchGlobal, RunBatchGlobal, MultiQueryGlobal —
+// see global.go and DESIGN.md §7) spend one total budget across the
+// fleet in global centroid-rank order, still charging each chunk to its
+// owning shard's pipeline.
+//
 // Per-shard results merge through knn.Less, so merged neighbor lists are
 // deterministic, and a run-to-completion search is provably the exact
 // global k-NN: any global top-k descriptor is within the top k of its own

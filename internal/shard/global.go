@@ -1,0 +1,280 @@
+// Global-budget scatter-gather: the Router's second budget discipline.
+//
+// The per-shard paths in shard.go apply the stop rule once per shard, so
+// a budgeted sharded search reads S× the chunks of the unsharded index at
+// the same per-shard budget. The global mode in this file closes that
+// gap: every shard's ranked chunk list (the exported search.RankChunks
+// order) merges into ONE global centroid-rank order, and a single total
+// budget — search.ChunkBudget / search.TimeBudget / search.ToCompletion
+// semantics applied globally — is spent walking that order, dispatching
+// each charged chunk to the shard that owns it.
+//
+// The cost model is unchanged: one simulated 2005 machine per shard.
+// Each charged chunk advances its owning shard's simdisk.Pipeline (so a
+// shard is charged exactly the chunks it served, in its own charge
+// order), the Elapsed the stop rule consults — and the merged result
+// reports as Simulated — is the max over the shards' pipelines (they run
+// in parallel), and ChunksRead is the sum, i.e. the global charge count.
+// Every shard pays the index read for its own chunk count before serving,
+// exactly as in the per-shard mode.
+//
+// Equivalence pins (global_test.go):
+//
+//   - Global budget on 1 shard is byte-identical to the unsharded
+//     search.Searcher, including Elapsed and IndexRead, under all three
+//     stop rules.
+//   - Global run-to-completion equals the scan oracle (and the unsharded
+//     completion search): the suffix minima over the merged order are a
+//     valid exactness certificate for the union of the shards.
+//   - Global ChunkBudget(B) on S shards reads exactly min(B, total)
+//     chunks in total — the per-shard mode's S× multiplier is gone.
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/knn"
+	"repro/internal/multiquery"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/simdisk"
+	"repro/internal/vec"
+)
+
+// globalStore presents the union of the shards' stores as one virtual
+// chunk store in shard-major chunk order: global chunk g lives on shard
+// owner[g] at local index local[g]. Ranking the concatenated metas with
+// search.RankChunks — which sorts by (squared centroid distance,
+// ascending global index) — therefore yields exactly the k-way merge of
+// the per-shard RankChunks lists with cross-shard ties broken by
+// (ascending shard, ascending local chunk index): the global
+// centroid-rank order the budget is spent in. ReadChunk routes to the
+// owning shard's store, so the virtual store inherits the Store
+// contract's concurrent-ReadChunk safety from the shard stores.
+type globalStore struct {
+	stores []chunkfile.Store
+	dims   int
+	metas  []chunkfile.Meta
+	owner  []int32 // owning shard per global chunk
+	local  []int32 // index within the owning shard's store
+}
+
+// newGlobalStore concatenates the shards' chunk indexes.
+func newGlobalStore(shards []routedShard, dims int) *globalStore {
+	total := 0
+	for s := range shards {
+		total += len(shards[s].store.Meta())
+	}
+	g := &globalStore{
+		dims:   dims,
+		metas:  make([]chunkfile.Meta, 0, total),
+		owner:  make([]int32, 0, total),
+		local:  make([]int32, 0, total),
+		stores: make([]chunkfile.Store, len(shards)),
+	}
+	for s := range shards {
+		g.stores[s] = shards[s].store
+		for ci, m := range shards[s].store.Meta() {
+			g.metas = append(g.metas, m)
+			g.owner = append(g.owner, int32(s))
+			g.local = append(g.local, int32(ci))
+		}
+	}
+	return g
+}
+
+// Dims implements chunkfile.Store.
+func (g *globalStore) Dims() int { return g.dims }
+
+// Meta implements chunkfile.Store: the concatenated per-shard chunk
+// indexes, shard-major. Callers must not modify it.
+func (g *globalStore) Meta() []chunkfile.Meta { return g.metas }
+
+// ReadChunk implements chunkfile.Store by routing global chunk i to the
+// owning shard's store. Safe for concurrent use with distinct Data
+// values, like the shard stores it delegates to.
+func (g *globalStore) ReadChunk(i int, data *chunkfile.Data) error {
+	return g.stores[g.owner[i]].ReadChunk(int(g.local[i]), data)
+}
+
+// Close implements chunkfile.Store as a no-op: the Router owns the shard
+// stores and closes them in Router.Close.
+func (g *globalStore) Close() error { return nil }
+
+// gscratch is the pooled per-call state of one global-budget single
+// query: the merged ranking, its suffix bounds, the scan buffers, the
+// global k-NN heap, and one pipeline plus served-chunk counter per shard.
+type gscratch struct {
+	ranked []search.RankedChunk
+	suffix []float64
+	d2     []float64
+	data   chunkfile.Data
+	heap   *knn.Heap
+	pipes  []simdisk.Pipeline
+	counts []int
+	events []knn.Neighbor
+}
+
+// SearchGlobal runs one query under the global budget discipline and
+// returns the merged result. See SearchGlobalInto.
+func (r *Router) SearchGlobal(q vec.Vector, opts search.Options) (*Result, error) {
+	res := &Result{}
+	if err := r.SearchGlobalInto(q, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SearchGlobalInto runs one query spending a single total budget across
+// the shards: chunks are processed in the global centroid-rank order (the
+// merge of every shard's search.RankChunks list, cross-shard ties broken
+// by ascending shard index), each processed chunk is charged to its
+// owning shard's simulated pipeline, and opts.Stop is applied after every
+// chunk against the global chunk count and the max over the shards'
+// simulated clocks. The certificate for Exact is the suffix minimum over
+// the merged order — valid for the union of the shards, so a
+// run-to-completion global search returns the exact global k-NN.
+//
+// res reports ChunksRead as the global total (equal to the sum over
+// PerShard), Elapsed as the max over the shards' machines, IndexRead as
+// the max over the shards' index reads, and one PerShard entry per shard
+// with the chunks that shard actually served and its own simulated clock
+// (its index read plus its served chunks, in its charge order). In global
+// mode a per-shard ShardCost.Exact mirrors the merged certificate: no
+// shard holds an independent one. The Neighbors and PerShard slices
+// already in res are reused when they have capacity; on error no fields
+// of res are valid. Events delivered to opts.Trace carry the global
+// chunk ordinal and the chunk's index in the virtual concatenated store.
+//
+// On one shard the merged order, the single pipeline, and the certificate
+// all degenerate to the unsharded search path, so the result is
+// byte-identical to search.Searcher.SearchInto — including Elapsed.
+func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result) error {
+	start := time.Now()
+	opts = normalize(opts)
+	if len(q) != r.dims {
+		return fmt.Errorf("shard: query dims %d != store dims %d", len(q), r.dims)
+	}
+	model := opts.Model
+	if model == nil {
+		model = r.model
+	}
+
+	sc := r.gpool.Get().(*gscratch)
+	defer r.gpool.Put(sc)
+	n := len(r.shards)
+
+	// Step 1, globally: rank the concatenated metas. One sort over the
+	// union is exactly the merge of the per-shard ranked lists (see the
+	// globalStore comment), and its suffix minima certify exactness over
+	// all shards at once.
+	sc.ranked = search.RankChunks(q, r.gstore.metas, sc.ranked[:0])
+	sc.suffix = search.SuffixBounds(sc.ranked, sc.suffix[:0])
+
+	// One simulated machine per shard, each paying its own index read;
+	// the fleet's clock starts at the slowest shard's ranking.
+	if cap(sc.pipes) < n {
+		sc.pipes = make([]simdisk.Pipeline, n)
+	}
+	pipes := sc.pipes[:n]
+	if cap(sc.counts) < n {
+		sc.counts = make([]int, n)
+	}
+	counts := sc.counts[:n]
+	entrySize := chunkfile.EntrySize(r.dims)
+	indexRead := time.Duration(0)
+	for s := range pipes {
+		init := model.IndexReadTime(len(r.shards[s].store.Meta()), entrySize)
+		pipes[s].Reset(model, opts.Overlap, init)
+		counts[s] = 0
+		if init > indexRead {
+			indexRead = init
+		}
+	}
+
+	neighbors := res.Neighbors[:0]
+	perShard := res.PerShard[:0]
+	*res = Result{IndexRead: indexRead, Elapsed: indexRead}
+	if sc.heap == nil {
+		sc.heap = knn.NewHeap(opts.K)
+	} else {
+		sc.heap.Reset(opts.K)
+	}
+	heap := sc.heap
+
+	// Step 2+3, globally: walk the merged order, dispatch each chunk to
+	// its owning shard, charge that shard's pipeline, and apply the stop
+	// rule after every chunk against the global count and the fleet's
+	// elapsed (the max over the shards — they run in parallel).
+	for pos := range sc.ranked {
+		rc := &sc.ranked[pos]
+		s := r.gstore.owner[rc.Idx]
+		m := &r.gstore.metas[rc.Idx]
+		if err := r.shards[s].store.ReadChunk(int(r.gstore.local[rc.Idx]), &sc.data); err != nil {
+			res.Neighbors, res.PerShard = neighbors, perShard
+			return &ShardError{Shard: int(s), Err: err}
+		}
+		sc.d2 = search.ScanChunk(q, r.dims, &sc.data, heap, sc.d2)
+		elapsed := pipes[s].Chunk(m.Bytes, m.Count)
+		if elapsed < res.Elapsed {
+			elapsed = res.Elapsed
+		}
+		res.ChunksRead++
+		res.Elapsed = elapsed
+		counts[s]++
+
+		if opts.Trace != nil {
+			sc.events = heap.AppendAll(sc.events[:0])
+			opts.Trace(search.Event{
+				Ordinal:    pos + 1,
+				ChunkIndex: rc.Idx,
+				ChunkCount: m.Count,
+				Elapsed:    elapsed,
+				Neighbors:  sc.events,
+			})
+		}
+
+		if opts.Stop.Done(res.ChunksRead, elapsed, heap.Kth(), sc.suffix[pos+1]) {
+			res.Exact = sc.suffix[pos+1] > heap.Kth()
+			break
+		}
+	}
+	if res.ChunksRead == len(sc.ranked) {
+		res.Exact = true
+	}
+	res.Neighbors = heap.SortedInto(neighbors)
+	for s := range pipes {
+		perShard = append(perShard, ShardCost{ChunksRead: counts[s], Elapsed: pipes[s].Elapsed(), Exact: res.Exact})
+	}
+	res.PerShard = perShard
+	res.Wall = time.Since(start)
+	return nil
+}
+
+// RunBatchGlobal executes a whole workload under the global budget
+// discipline on the chunk-major batch engine: the engine runs over the
+// virtual concatenated store (so every query ranks and walks the same
+// merged order SearchGlobalInto does, and a chunk wanted by several
+// queries in a round is still read and decoded once), with the
+// chunk→shard mapping switching the engine's cost model to one simulated
+// machine per (query, shard). Outcomes are byte-identical to per-query
+// SearchGlobalInto — results[qi] reports the global ChunksRead, the
+// max-over-shards Elapsed and IndexRead, and the global Exact
+// certificate. The results array is caller-owned exactly as in RunBatch;
+// on error no results are valid.
+func (r *Router) RunBatchGlobal(queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
+	opts.Shards = r.gstore.owner
+	opts.NumShards = len(r.shards)
+	return r.gengine.Run(queries, opts, results)
+}
+
+// MultiQueryGlobal runs a multi-descriptor (whole-image) query with the
+// bag's per-descriptor chunk budget spent globally: each descriptor's
+// search walks the merged centroid-rank order across all shards instead
+// of spending the budget once per shard. Aggregation into image votes is
+// the same as MultiQuery's.
+func (r *Router) MultiQueryGlobal(descriptors []vec.Vector, opts multiquery.Options) (*multiquery.Result, error) {
+	return r.multiQueryVia(descriptors, opts, r.RunBatchGlobal)
+}

@@ -22,29 +22,37 @@ type ShardError struct {
 	Err   error
 }
 
+// Error implements the error interface.
 func (e *ShardError) Error() string { return fmt.Sprintf("shard: shard %d: %v", e.Shard, e.Err) }
 
 // Unwrap returns the underlying error.
 func (e *ShardError) Unwrap() error { return e.Err }
 
-// ShardCost is one shard's share of a merged query outcome.
+// ShardCost is one shard's share of a merged query outcome: the chunks
+// that shard actually served and its own simulated machine's elapsed
+// time (its index read plus its served chunks, in its charge order). In
+// the per-shard modes Exact is that shard's own certificate; in the
+// global-budget modes no shard holds an independent certificate, so
+// Exact mirrors the merged result's.
 type ShardCost struct {
 	ChunksRead int
 	Elapsed    time.Duration // this shard's simulated machine
 	Exact      bool
 }
 
-// Result is the merged outcome of one scatter-gather query.
+// Result is the merged outcome of one scatter-gather query, under either
+// budget discipline.
 type Result struct {
-	Neighbors  []knn.Neighbor // global top k, merged through knn.Less
-	ChunksRead int            // sum over shards
+	Neighbors  []knn.Neighbor // global top k, ordered by (distance, ascending ID)
+	ChunksRead int            // sum over shards (in global mode: the total budget spent)
 	// Elapsed is the simulated time: the max over the shards' machines,
 	// since the shards run in parallel. IndexRead likewise.
 	Elapsed   time.Duration
 	IndexRead time.Duration
 	Wall      time.Duration // real time of the scatter-gather call
-	// Exact reports that every shard's result was provably exact, which
-	// makes the merged list the exact global k-NN.
+	// Exact reports that the result is provably the exact global k-NN: in
+	// per-shard mode every shard's certificate held; in global mode the
+	// merged suffix-bound certificate held.
 	Exact bool
 	// PerShard is the per-shard breakdown in shard order; the slice is
 	// reused across calls on a recycled Result.
@@ -61,10 +69,29 @@ type routedShard struct {
 
 // Router serves queries scatter-gather across a set of shards. It is safe
 // for concurrent use.
+//
+// Two budget disciplines are offered, with the same per-shard cost model
+// (one simulated 2005 machine per shard) underneath:
+//
+//   - Per-shard (Search, RunBatch, MultiQuery): every shard runs the
+//     paper's algorithm independently, so the stop rule's budget is spent
+//     once per shard — S shards at ChunkBudget(b) read up to S×b chunks.
+//   - Global (SearchGlobal, RunBatchGlobal, MultiQueryGlobal): the
+//     shards' ranked chunk lists merge into one global centroid-rank
+//     order, and the stop rule spends a single total budget across the
+//     fleet — ChunkBudget(B) reads exactly min(B, total) chunks. See
+//     global.go and DESIGN.md §7.
 type Router struct {
-	shards  []routedShard
-	dims    int
+	shards []routedShard
+	dims   int
+	model  *simdisk.Model // resolved default model for the global paths
+	// gstore is the virtual concatenated store the global-budget mode
+	// ranks and reads through; gengine is the chunk-major batch engine
+	// over it, configured per run with the chunk→shard machine mapping.
+	gstore  *globalStore
+	gengine *batchexec.Engine
 	scratch sync.Pool // *scatter
+	gpool   sync.Pool // *gscratch: global single-query state
 	mq      sync.Pool // *[]search.Result: multi-descriptor result arena
 }
 
@@ -85,8 +112,11 @@ func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) 
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no stores")
 	}
+	if model == nil {
+		model = simdisk.Default2005()
+	}
 	dims := stores[0].Dims()
-	r := &Router{dims: dims}
+	r := &Router{dims: dims, model: model}
 	for i, st := range stores {
 		if st.Dims() != dims {
 			return nil, fmt.Errorf("shard: shard %d dims %d != shard 0 dims %d", i, st.Dims(), dims)
@@ -97,7 +127,10 @@ func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) 
 			engine:   batchexec.New(st, model),
 		})
 	}
+	r.gstore = newGlobalStore(r.shards, dims)
+	r.gengine = batchexec.New(r.gstore, model)
 	r.scratch.New = func() any { return &scatter{} }
+	r.gpool.New = func() any { return &gscratch{} }
 	r.mq.New = func() any {
 		s := []search.Result(nil)
 		return &s
@@ -281,8 +314,19 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 // the bag's per-descriptor searches run as one batch across every shard,
 // and the merged per-descriptor neighbor lists vote through the shared
 // multiquery aggregation, so the outcome matches a single-store
-// multi-descriptor query over the union of the shards.
+// multi-descriptor query over the union of the shards. The default
+// 3-chunk budget — like any stop rule passed in opts — applies per
+// descriptor per shard; MultiQueryGlobal spends it per descriptor across
+// the whole fleet instead.
 func (r *Router) MultiQuery(descriptors []vec.Vector, opts multiquery.Options) (*multiquery.Result, error) {
+	return r.multiQueryVia(descriptors, opts, r.RunBatch)
+}
+
+// multiQueryVia is the shared multi-descriptor implementation: the bag
+// runs as one batch through the given batch executor (per-shard RunBatch
+// or global-budget RunBatchGlobal), then the per-descriptor results vote
+// through the shared multiquery aggregation.
+func (r *Router) multiQueryVia(descriptors []vec.Vector, opts multiquery.Options, run func([]vec.Vector, batchexec.Options, []search.Result) error) (*multiquery.Result, error) {
 	if len(descriptors) == 0 {
 		return nil, errors.New("shard: no query descriptors")
 	}
@@ -296,7 +340,7 @@ func (r *Router) MultiQuery(descriptors []vec.Vector, opts multiquery.Options) (
 	defer r.mq.Put(rp)
 	*rp = grow(*rp, len(descriptors))
 	results := *rp
-	err := r.RunBatch(descriptors, batchexec.Options{
+	err := run(descriptors, batchexec.Options{
 		K:       opts.K,
 		Stop:    opts.Stop,
 		Overlap: opts.Overlap,

@@ -32,6 +32,18 @@ func RunSharded(r *shard.Router, queries []vec.Vector, opts batchexec.Options, r
 	return r.RunBatch(queries, opts, results)
 }
 
+// RunShardedGlobal executes a whole query workload across a sharded
+// index under the global budget discipline: each query's stop rule
+// spends one total budget over the merged global centroid-rank order
+// (instead of once per shard as in RunSharded), every charged chunk is
+// billed to its owning shard's simulated pipeline, and results[qi]
+// reports ChunksRead as the global total with Elapsed the max over the
+// shards' machines. Like Run, the results array is caller-owned and
+// reusable across sweeps.
+func RunShardedGlobal(r *shard.Router, queries []vec.Vector, opts batchexec.Options, results []search.Result) error {
+	return r.RunBatchGlobal(queries, opts, results)
+}
+
 // Stats aggregates one workload execution.
 type Stats struct {
 	Queries    int

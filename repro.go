@@ -21,10 +21,13 @@
 // SearchBatchInto), whole-image bags of descriptors on the multi-query
 // voting layer (MultiSearch), and BuildSharded/OpenSharded partition an
 // index across shards searched scatter-gather (ShardedIndex), one
-// simulated 2005 machine per shard.
+// simulated 2005 machine per shard. Sharded stop-rule budgets apply per
+// shard by default or — with SearchOptions.GlobalBudget — once across
+// the whole fleet in global centroid-rank order, which matches the
+// unsharded index's quality at the same total chunk bill.
 //
-// The internal packages hold the substrates (see DESIGN.md); this package
-// is the stable surface.
+// The internal packages hold the substrates (see README.md and
+// DESIGN.md); this package is the stable surface.
 package repro
 
 import (
@@ -277,6 +280,18 @@ type SearchOptions struct {
 	MaxTime   time.Duration // stop after this much simulated time
 	Overlap   bool          // overlap I/O and CPU in the simulated pipeline
 	Model     *CostModel    // nil = calibrated 2005 model
+	// GlobalBudget switches a ShardedIndex search from the per-shard to
+	// the global budget discipline: instead of every shard spending the
+	// stop rule's budget independently (MaxChunks c reading up to S×c
+	// chunks on S shards), the shards' ranked chunk lists merge into one
+	// global centroid-rank order and the budget is spent once across the
+	// fleet — MaxChunks c reads exactly min(c, total) chunks, MaxTime
+	// bounds the max over the shards' simulated machines, and completion
+	// stops at the merged exactness certificate. Each chunk is still
+	// charged to its owning shard's simulated pipeline; Simulated remains
+	// the max over the shards and ChunksRead their sum. See DESIGN.md §7.
+	// Ignored by Index: one machine's budget is already global.
+	GlobalBudget bool
 }
 
 // Result is a search outcome.
@@ -346,6 +361,11 @@ type MultiSearchOptions struct {
 	RankWeighted bool
 	// Overlap selects the overlapped pipeline in the simulated timing.
 	Overlap bool
+	// GlobalBudget makes a ShardedIndex spend each descriptor's MaxChunks
+	// budget once across all shards (global centroid-rank order) instead
+	// of once per shard — the same discipline as
+	// SearchOptions.GlobalBudget. Ignored by Index.
+	GlobalBudget bool
 }
 
 // ImageMatch is one ranked image of a multi-descriptor search.

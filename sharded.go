@@ -19,11 +19,20 @@ import (
 // and gather through a deterministic merge, so a run-to-completion search
 // returns the exact global k-NN. The simulated cost model is one 2005
 // machine per shard: a query's Simulated is the max over the shards
-// (they run in parallel), ChunksRead the sum, and each stop rule applies
-// per shard to that shard's own simulated pipeline.
+// (they run in parallel) and ChunksRead the sum.
+//
+// Budgets come in two disciplines, selected by
+// SearchOptions.GlobalBudget. By default each stop rule applies per
+// shard to that shard's own simulated pipeline (MaxChunks c reads up to
+// S×c chunks). With GlobalBudget set, the shards' chunk rankings merge
+// into one global centroid-rank order and the budget is spent once
+// across the fleet — MaxChunks c reads exactly min(c, total) chunks,
+// matching the unsharded Index's quality at the same total bill. See
+// DESIGN.md §5 and §7.
 //
 // A 1-shard ShardedIndex returns results byte-identical to Index — same
-// IDs, distances, ChunksRead, Simulated and Exact under every stop rule.
+// IDs, distances, ChunksRead, Simulated and Exact under every stop rule,
+// in both budget disciplines.
 type ShardedIndex struct {
 	router   *shard.Router
 	pageSize int
@@ -149,16 +158,21 @@ func (sx *ShardedIndex) Search(q Vector, opts SearchOptions) (*Result, error) {
 }
 
 // SearchInto runs one query scatter-gather, writing the merged outcome
-// into res. MaxChunks and MaxTime budgets apply per shard (each shard is
-// its own simulated machine); Simulated is the max over the shards and
-// ChunksRead their sum. The Neighbors slice already in res is reused when
-// it has capacity.
+// into res. By default MaxChunks and MaxTime budgets apply per shard
+// (each shard is its own simulated machine); with opts.GlobalBudget they
+// are spent once across the fleet in global centroid-rank order. Either
+// way Simulated is the max over the shards and ChunksRead their sum. The
+// Neighbors slice already in res is reused when it has capacity.
 func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) error {
 	sr := sx.resPool.Get().(*shard.Result)
 	defer sx.resPool.Put(sr)
 	neighbors := sr.Neighbors
 	sr.Neighbors = res.Neighbors
-	err := sx.router.SearchInto(q, search.Options{
+	routerSearch := sx.router.SearchInto
+	if opts.GlobalBudget {
+		routerSearch = sx.router.SearchGlobalInto
+	}
+	err := routerSearch(q, search.Options{
 		K:       opts.K,
 		Stop:    stopRule(opts),
 		Overlap: opts.Overlap,
@@ -180,9 +194,11 @@ func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) er
 // SearchBatchInto runs every query scatter-gather across the shards,
 // writing the merged outcome of queries[qi] into results[qi]. Every
 // shard executes the whole batch on its own chunk-major engine,
-// concurrently with the other shards; per-query merge semantics match
-// SearchInto exactly. The results array is the caller-owned arena, as in
-// Index.SearchBatchInto.
+// concurrently with the other shards (with opts.GlobalBudget, one
+// chunk-major engine runs the batch over the merged global chunk order,
+// charging per-shard pipelines); per-query semantics match SearchInto
+// exactly in either discipline. The results array is the caller-owned
+// arena, as in Index.SearchBatchInto.
 func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, results []Result) error {
 	if len(results) != len(queries) {
 		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
@@ -199,7 +215,11 @@ func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, res
 	for i := range results {
 		srs[i] = search.Result{Neighbors: results[i].Neighbors[:0]}
 	}
-	err := sx.router.RunBatch(queries, batchexec.Options{
+	routerBatch := sx.router.RunBatch
+	if opts.GlobalBudget {
+		routerBatch = sx.router.RunBatchGlobal
+	}
+	err := routerBatch(queries, batchexec.Options{
 		K:           opts.K,
 		Stop:        stopRule(opts.SearchOptions),
 		Model:       opts.Model,
@@ -251,13 +271,17 @@ func (sx *ShardedIndex) SearchBatch(queries []Vector, opts BatchOptions) ([]*Res
 // the bag's per-descriptor searches batch across every shard, merged
 // per-descriptor neighbor lists vote for source images through the same
 // aggregation as Index.MultiSearch, and the per-descriptor chunk budget
-// applies per shard.
+// applies per shard — or once across the fleet with opts.GlobalBudget.
 func (sx *ShardedIndex) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
 	maxChunks := opts.MaxChunks
 	if maxChunks <= 0 {
 		maxChunks = 3
 	}
-	res, err := sx.router.MultiQuery(descriptors, multiquery.Options{
+	routerMulti := sx.router.MultiQuery
+	if opts.GlobalBudget {
+		routerMulti = sx.router.MultiQueryGlobal
+	}
+	res, err := routerMulti(descriptors, multiquery.Options{
 		K:            opts.K,
 		Stop:         search.ChunkBudget(maxChunks),
 		RankWeighted: opts.RankWeighted,

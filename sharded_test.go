@@ -237,3 +237,148 @@ func TestSaveHonorsBuildPageSize(t *testing.T) {
 		idx.Close()
 	}
 }
+
+// TestShardedIndexGlobalBudget pins the facade's GlobalBudget option:
+// on S shards a global MaxChunks budget reads exactly that many chunks
+// in total and returns the unsharded Index's neighbors at the same
+// budget (the closed S× gap); on 1 shard the discipline is byte-identical
+// to Index including Simulated; the batch and multi-descriptor paths
+// agree with the single-query path.
+func TestShardedIndexGlobalBudget(t *testing.T) {
+	coll := GenerateCollection(6000, 61)
+	cfg := BuildConfig{Strategy: StrategySRTree, ChunkSize: 250}
+	idx, err := Build(coll, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	sx, err := BuildSharded(coll, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	one, err := BuildSharded(coll, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+
+	// Matched total budget: global on 4 shards reads exactly B chunks and
+	// matches the unsharded neighbors; per-shard at the same per-shard
+	// budget reads 4× the chunks.
+	for _, budget := range []int{2, 5, 12} {
+		for _, qi := range []int{9, 640, 5999} {
+			q := coll.Vec(qi)
+			want, err := idx.Search(q, SearchOptions{K: 20, MaxChunks: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sx.Search(q, SearchOptions{K: 20, MaxChunks: budget, GlobalBudget: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ChunksRead != budget {
+				t.Fatalf("global budget %d q%d: ChunksRead %d", budget, qi, got.ChunksRead)
+			}
+			if len(got.Neighbors) != len(want.Neighbors) {
+				t.Fatalf("global budget %d q%d: %d neighbors != %d", budget, qi, len(got.Neighbors), len(want.Neighbors))
+			}
+			for i := range want.Neighbors {
+				if got.Neighbors[i] != want.Neighbors[i] {
+					t.Fatalf("global budget %d q%d rank %d: %+v != unsharded %+v",
+						budget, qi, i, got.Neighbors[i], want.Neighbors[i])
+				}
+			}
+			if budget <= 5 { // small enough that no shard runs out of chunks
+				perShard, err := sx.Search(q, SearchOptions{K: 20, MaxChunks: budget})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if perShard.ChunksRead != 4*budget {
+					t.Fatalf("per-shard budget %d q%d: ChunksRead %d != %d", budget, qi, perShard.ChunksRead, 4*budget)
+				}
+			}
+		}
+	}
+
+	// Global completion is exact and equals the oracle.
+	res, err := sx.Search(coll.Vec(777), SearchOptions{K: 25, GlobalBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("global completion not exact")
+	}
+	truth := Exact(coll, coll.Vec(777), 25)
+	for i := range truth {
+		if res.Neighbors[i] != truth[i] {
+			t.Fatalf("global completion rank %d: %+v != oracle %+v", i, res.Neighbors[i], truth[i])
+		}
+	}
+
+	// One shard: GlobalBudget is byte-identical to Index, Simulated
+	// included, under all three stop rules.
+	for _, opts := range []SearchOptions{
+		{K: 20, GlobalBudget: true},
+		{K: 20, MaxChunks: 4, GlobalBudget: true},
+		{K: 20, MaxTime: 80 * time.Millisecond, GlobalBudget: true},
+	} {
+		plain := opts
+		plain.GlobalBudget = false
+		for _, qi := range []int{17, 999} {
+			q := coll.Vec(qi)
+			want, err := idx.Search(q, plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := one.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, "1-shard global", got, want)
+		}
+	}
+
+	// Batch path: byte-identical to the single-query global path.
+	queries, err := DatasetQueries(coll, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SearchOptions{K: 20, MaxChunks: 6, GlobalBudget: true}
+	batch := make([]Result, len(queries))
+	if err := sx.SearchBatchInto(queries, BatchOptions{SearchOptions: opts}, batch); err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, err := sx.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, "global batch", &batch[qi], want)
+	}
+
+	// Multi-descriptor global budget: the per-descriptor global searches
+	// read the same chunks the unsharded index would, so image scores and
+	// chunk totals match Index.MultiSearch.
+	mbag := make([]Vector, 20)
+	for i := range mbag {
+		mbag[i] = coll.Vec(i * 131)
+	}
+	wantMulti, err := idx.MultiSearch(mbag, MultiSearchOptions{K: 8, MaxChunks: 3, RankWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMulti, err := sx.MultiSearch(mbag, MultiSearchOptions{K: 8, MaxChunks: 3, RankWeighted: true, GlobalBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotMulti.Images) != len(wantMulti.Images) || gotMulti.ChunksRead != wantMulti.ChunksRead {
+		t.Fatalf("global multi: (%d images, chunks %d) != (%d, %d)",
+			len(gotMulti.Images), gotMulti.ChunksRead, len(wantMulti.Images), wantMulti.ChunksRead)
+	}
+	for i := range wantMulti.Images {
+		if gotMulti.Images[i] != wantMulti.Images[i] {
+			t.Fatalf("global multi image %d: %+v != %+v", i, gotMulti.Images[i], wantMulti.Images[i])
+		}
+	}
+}
