@@ -7,11 +7,14 @@
 // the chunk-major zero-allocation result arena), a multi-descriptor
 // image query, and the sharded scatter-gather layer (single-query,
 // batch at a matched total chunk budget under both the per-shard and the
-// global budget discipline, and multi-descriptor).
+// global budget discipline, and multi-descriptor), plus fault-tolerance
+// rows: a Zipf-skewed workload run healthy and with one shard down at
+// replication 1 and 2, each scored with p99 simulated time and recall
+// against the exact ground truth.
 //
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_5.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_6.json]
 package main
 
 import (
@@ -43,6 +46,17 @@ type measurement struct {
 	// independent of the benchmark host's core count and load.
 	SimMsPerQuery  float64 `json:"sim_ms_per_query,omitempty"`
 	ChunksPerQuery float64 `json:"chunks_per_query,omitempty"`
+	// SimMsP99 is the 99th-percentile per-query simulated time — the
+	// tail-latency metric the Zipf/fault rows exist to expose. Recall is
+	// the mean fraction of the true k-NN found (1.0 for a healthy
+	// completion run; honestly lower for a degraded one).
+	// DegradedQueries counts queries that skipped unavailable chunks and
+	// SkippedPerQuery the mean chunks skipped, so a snapshot shows how
+	// much data a degraded row actually lost.
+	SimMsP99        float64 `json:"sim_ms_p99,omitempty"`
+	Recall          float64 `json:"recall,omitempty"`
+	DegradedQueries int     `json:"degraded_queries,omitempty"`
+	SkippedPerQuery float64 `json:"chunks_skipped_per_query,omitempty"`
 }
 
 // withStats annotates a measurement with the cost-model outcome of one
@@ -56,6 +70,28 @@ func withStats(m measurement, results []repro.Result) measurement {
 	n := float64(len(results))
 	m.SimMsPerQuery = simMs / n
 	m.ChunksPerQuery = chunks / n
+	return m
+}
+
+// withQuality annotates a measurement with the tail-latency and quality
+// outcome of one executed workload: p99 simulated time, mean recall
+// against the supplied ground truth, and the degradation counters.
+func withQuality(m measurement, results []repro.Result, truths [][]repro.Neighbor) measurement {
+	m = withStats(m, results)
+	simMs := make([]float64, len(results))
+	var recall, skipped float64
+	for i := range results {
+		simMs[i] = results[i].Simulated.Seconds() * 1e3
+		recall += repro.Precision(results[i].Neighbors, truths[i])
+		skipped += float64(results[i].ChunksSkipped)
+		if results[i].Degraded {
+			m.DegradedQueries++
+		}
+	}
+	sort.Float64s(simMs)
+	m.SimMsP99 = simMs[(len(simMs)*99+99)/100-1]
+	m.Recall = recall / float64(len(results))
+	m.SkippedPerQuery = skipped / float64(len(results))
 	return m
 }
 
@@ -150,7 +186,7 @@ func main() {
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 4, "shard count for the sharded benchmarks")
-	out := flag.String("out", "BENCH_5.json", "output path")
+	out := flag.String("out", "BENCH_6.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -174,7 +210,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:      2,
+		Schema:      3,
 		CreatedUnix: time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -360,6 +396,71 @@ func main() {
 		}
 	}))
 
+	// Fault-tolerance rows: a Zipf-skewed workload (the access pattern
+	// replication targets) run to completion, healthy and with shard 0
+	// held down, at replication 1 and 2. Ground truth over the full
+	// collection scores every row's recall, so the degraded R=1 row shows
+	// honestly how much quality one lost shard costs, while the R=2 rows
+	// show the failover serving identical answers; sim_ms_p99 shows what
+	// the failure does to tail latency under skew.
+	zipfQueries, err := repro.ZipfQueries(coll, 200, 1.3, *seed+2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: zipf queries:", err)
+		os.Exit(1)
+	}
+	truths := make([][]repro.Neighbor, len(zipfQueries))
+	for i, zq := range zipfQueries {
+		truths[i] = repro.Exact(coll, zq, *k)
+	}
+	replicated, err := repro.BuildReplicated(coll, repro.BuildConfig{Strategy: repro.StrategySRTree, ChunkSize: *chunk},
+		*shards, 2, zipfQueries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: build replicated:", err)
+		os.Exit(1)
+	}
+	defer replicated.Close()
+
+	zipfBench := func(sx *repro.ShardedIndex, down bool) measurement {
+		sx.ResetHealth()
+		if down {
+			sx.MarkShardDown(0)
+		}
+		defer sx.ResetHealth()
+		results := make([]repro.Result, len(zipfQueries))
+		run := func() error {
+			return sx.SearchBatchInto(zipfQueries, repro.BatchOptions{
+				SearchOptions: repro.SearchOptions{K: *k},
+			}, results)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m := toMeasurement(r)
+		m.OpsPerSec *= float64(len(zipfQueries))
+		return withQuality(m, results, truths)
+	}
+	for _, row := range []struct {
+		name string
+		sx   *repro.ShardedIndex
+		down bool
+	}{
+		{fmt.Sprintf("sharded%d_r1_zipf_completion_healthy", *shards), sharded, false},
+		{fmt.Sprintf("sharded%d_r1_zipf_completion_1down", *shards), sharded, true},
+		{fmt.Sprintf("sharded%d_r2_zipf_completion_healthy", *shards), replicated, false},
+		{fmt.Sprintf("sharded%d_r2_zipf_completion_1down", *shards), replicated, true},
+	} {
+		snap.Benchmarks[row.name] = zipfBench(row.sx, row.down)
+	}
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap: marshal:", err)
@@ -392,6 +493,12 @@ func main() {
 			name, m.NsPerOp, m.OpsPerSec, m.AllocsPerOp)
 		if m.SimMsPerQuery > 0 {
 			line += fmt.Sprintf("  %8.1f sim-ms/q  %5.1f chunks/q", m.SimMsPerQuery, m.ChunksPerQuery)
+		}
+		if m.Recall > 0 {
+			line += fmt.Sprintf("  %8.1f sim-ms/p99  %.3f recall", m.SimMsP99, m.Recall)
+			if m.DegradedQueries > 0 {
+				line += fmt.Sprintf("  (%d degraded, %.1f skipped/q)", m.DegradedQueries, m.SkippedPerQuery)
+			}
 		}
 		fmt.Println(line)
 	}

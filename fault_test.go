@@ -1,0 +1,220 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/descriptor"
+	"repro/internal/shard"
+)
+
+// faultOpts is the stop-rule sweep the failure drills run under: both
+// budget disciplines, including a wall-clock budget — with a shard held
+// down and R=2, even time-budget results must be byte-identical, because
+// failover to a known-down shard's replica costs no simulated stall.
+func faultOpts() []SearchOptions {
+	return []SearchOptions{
+		{K: 20},
+		{K: 20, MaxChunks: 4},
+		{K: 20, MaxTime: 80 * time.Millisecond},
+		{K: 20, GlobalBudget: true},
+		{K: 20, MaxChunks: 12, GlobalBudget: true},
+	}
+}
+
+// TestReplicatedIndexSurvivesShardDown pins the facade guarantee: with
+// replication 2, holding any single shard down changes nothing — every
+// result stays byte-identical to the healthy run (IDs, distances,
+// ChunksRead, Simulated, Exact) with Degraded false, across both budget
+// disciplines and the batch path.
+func TestReplicatedIndexSurvivesShardDown(t *testing.T) {
+	coll := GenerateCollection(6000, 51)
+	cfg := BuildConfig{Strategy: StrategySRTree, ChunkSize: 250}
+	sx, err := BuildReplicated(coll, cfg, 3, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	if sx.Replication() != 2 {
+		t.Fatalf("Replication() = %d", sx.Replication())
+	}
+
+	queryIdx := []int{0, 17, 999, 5999}
+	queries := make([]Vector, len(queryIdx))
+	for i, qi := range queryIdx {
+		queries[i] = coll.Vec(qi)
+	}
+
+	for kill := 0; kill < sx.Shards(); kill++ {
+		sx.ResetHealth()
+		for _, opts := range faultOpts() {
+			for _, q := range queries {
+				want, err := sx.Search(q, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sx.MarkShardDown(kill)
+				got, err := sx.Search(q, opts)
+				sx.ResetHealth()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Degraded || got.ChunksSkipped != 0 {
+					t.Fatalf("kill %d: degraded despite replication 2", kill)
+				}
+				if got.ShardsDown != 1 {
+					t.Fatalf("kill %d: ShardsDown = %d", kill, got.ShardsDown)
+				}
+				compareResults(t, "shard-down", got, want)
+			}
+		}
+
+		healthyBatch := make([]Result, len(queries))
+		downBatch := make([]Result, len(queries))
+		bopts := BatchOptions{SearchOptions: SearchOptions{K: 20}}
+		if err := sx.SearchBatchInto(queries, bopts, healthyBatch); err != nil {
+			t.Fatal(err)
+		}
+		sx.MarkShardDown(kill)
+		if err := sx.SearchBatchInto(queries, bopts, downBatch); err != nil {
+			t.Fatal(err)
+		}
+		sx.ResetHealth()
+		for qi := range queries {
+			if downBatch[qi].Degraded {
+				t.Fatalf("kill %d batch q%d: degraded despite replication 2", kill, qi)
+			}
+			compareResults(t, "shard-down batch", &downBatch[qi], &healthyBatch[qi])
+		}
+	}
+}
+
+// TestUnreplicatedIndexDegradesHonestly pins the degraded contract at
+// the facade: with replication 1, a down shard makes completion searches
+// return exactly the exact k-NN over the surviving shards' descriptors,
+// flagged Degraded with Exact off and ChunksSkipped equal to the dead
+// shard's chunk count.
+func TestUnreplicatedIndexDegradesHonestly(t *testing.T) {
+	coll := GenerateCollection(6000, 77)
+	sx, err := BuildSharded(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 250}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	for kill := 0; kill < sx.Shards(); kill++ {
+		sx.ResetHealth()
+		sx.MarkShardDown(kill)
+
+		// With R=1 a shard's physical clusters are exactly its primaries,
+		// so the surviving data is every other shard's parts.
+		survivors := descriptor.NewCollection(coll.Dims(), 0)
+		for s := range sx.parts {
+			if s == kill {
+				continue
+			}
+			for _, cl := range sx.parts[s] {
+				for _, pos := range cl.Members {
+					survivors.Append(coll.IDAt(pos), coll.Vec(pos))
+				}
+			}
+		}
+
+		for _, qi := range []int{3, 512, 4000} {
+			q := coll.Vec(qi)
+			res, err := sx.Search(q, SearchOptions{K: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Degraded || res.Exact {
+				t.Fatalf("kill %d q%d: Degraded %v, Exact %v", kill, qi, res.Degraded, res.Exact)
+			}
+			if res.ChunksSkipped != len(sx.parts[kill]) {
+				t.Fatalf("kill %d q%d: ChunksSkipped %d != dead shard's %d chunks",
+					kill, qi, res.ChunksSkipped, len(sx.parts[kill]))
+			}
+			if res.ShardsDown != 1 {
+				t.Fatalf("kill %d q%d: ShardsDown %d", kill, qi, res.ShardsDown)
+			}
+			truth := Exact(survivors, q, 20)
+			if len(res.Neighbors) != len(truth) {
+				t.Fatalf("kill %d q%d: %d neighbors vs survivor oracle %d", kill, qi, len(res.Neighbors), len(truth))
+			}
+			for i := range truth {
+				if res.Neighbors[i] != truth[i] {
+					t.Fatalf("kill %d q%d rank %d: %+v != survivor oracle %+v", kill, qi, i, res.Neighbors[i], truth[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplicatedSaveOpenRoundTrip pins the placement sidecar through the
+// facade: a replicated index saved and reopened keeps its replication
+// factor and serves byte-identical results, healthy and with a shard
+// held down.
+func TestReplicatedSaveOpenRoundTrip(t *testing.T) {
+	coll := GenerateCollection(5000, 91)
+	sample, err := DatasetQueries(coll, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx, err := BuildReplicated(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200}, 4, 2, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	dir := t.TempDir()
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shard.PlacementName)); err != nil {
+		t.Fatalf("replicated save left no placement sidecar: %v", err)
+	}
+	fx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+	if fx.Replication() != 2 {
+		t.Fatalf("reopened Replication() = %d, want 2", fx.Replication())
+	}
+	if fx.Chunks() != sx.Chunks() || fx.Len() != sx.Len() {
+		t.Fatalf("reopened shape: chunks %d/%d len %d/%d", fx.Chunks(), sx.Chunks(), fx.Len(), sx.Len())
+	}
+
+	for _, opts := range faultOpts() {
+		for _, qi := range []int{1, 700, 4999} {
+			q := coll.Vec(qi)
+			want, err := sx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareResults(t, "file healthy", got, want)
+
+			sx.MarkShardDown(2)
+			fx.MarkShardDown(2)
+			want, err = sx.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = fx.Search(q, opts)
+			sx.ResetHealth()
+			fx.ResetHealth()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Degraded {
+				t.Fatal("file-backed replicated search degraded with one shard down")
+			}
+			compareResults(t, "file shard-down", got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/descriptor"
@@ -64,8 +65,15 @@ func PaddedBytes(count, dims, pageSize int) int {
 type Data struct {
 	IDs  []descriptor.ID
 	Vecs []float32 // flattened, Count × dims
-	dims int
-	buf  []byte // FileStore read scratch, reused across ReadChunk calls
+	// Stall is the simulated penalty incurred serving this ReadChunk —
+	// failed attempts and retry backoff in a fault-tolerant store. Stores
+	// that retry or fail over set it on every call (zero for a clean
+	// read); the plain stores never touch it. Consumers charge it to the
+	// owning machine's simdisk.Pipeline and zero it before the next read,
+	// so a query is billed for exactly the retries its reads needed.
+	Stall time.Duration
+	dims  int
+	buf   []byte // FileStore read scratch, reused across ReadChunk calls
 	// owned reports whether IDs/Vecs are Data-owned scratch that decode
 	// may overwrite; false after a MemStore read leaves them aliasing
 	// store memory, forcing the next decode to allocate fresh buffers
@@ -114,7 +122,7 @@ func Write(coll *descriptor.Collection, clusters []*cluster.Cluster, chunkPath, 
 
 	cf, err := os.Create(chunkPath)
 	if err != nil {
-		return err
+		return fmt.Errorf("chunkfile: create chunk file: %w", err)
 	}
 	defer cf.Close()
 	cw := bufio.NewWriterSize(cf, 1<<20)
@@ -167,10 +175,10 @@ func Write(coll *descriptor.Collection, clusters []*cluster.Cluster, chunkPath, 
 		offset += int64(padded)
 	}
 	if err := cw.Flush(); err != nil {
-		return err
+		return fmt.Errorf("chunkfile: write chunk file: %w", err)
 	}
 	if err := cf.Sync(); err != nil {
-		return err
+		return fmt.Errorf("chunkfile: sync chunk file: %w", err)
 	}
 
 	return writeIndex(indexPath, dims, metas)
@@ -179,7 +187,7 @@ func Write(coll *descriptor.Collection, clusters []*cluster.Cluster, chunkPath, 
 func writeIndex(path string, dims int, metas []Meta) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("chunkfile: create index file: %w", err)
 	}
 	defer f.Close()
 	w := bufio.NewWriterSize(f, 1<<20)
@@ -211,9 +219,12 @@ func writeIndex(path string, dims int, metas []Meta) error {
 		}
 	}
 	if err := w.Flush(); err != nil {
-		return err
+		return fmt.Errorf("chunkfile: write index file: %w", err)
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("chunkfile: sync index file: %w", err)
+	}
+	return nil
 }
 
 func pageCeil(n, page int) int {
@@ -238,6 +249,13 @@ var (
 	ErrChunkOOB = errors.New("chunkfile: chunk index out of range")
 	// ErrClosed is returned by ReadChunk on a closed store.
 	ErrClosed = errors.New("chunkfile: store is closed")
+	// ErrUnavailable marks a chunk as unreachable rather than broken: a
+	// ReadChunk error wrapping it (errors.Is) tells the search layers the
+	// chunk cannot be served right now — every replica is down — and that
+	// the query may skip it and complete in degraded mode instead of
+	// aborting. The plain stores never return it; the shard router's
+	// replicated read path does.
+	ErrUnavailable = errors.New("chunkfile: chunk unavailable")
 )
 
 // FileStore reads a chunk index from its two files.
@@ -258,7 +276,7 @@ func Open(chunkPath, indexPath string) (*FileStore, error) {
 	}
 	f, err := os.Open(chunkPath)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("chunkfile: open chunk file: %w", err)
 	}
 	var head [20]byte
 	if _, err := io.ReadFull(f, head[:]); err != nil {
@@ -321,7 +339,7 @@ func validateMetas(metas []Meta, dims, page int, fileSize int64) error {
 func readIndex(path string) ([]Meta, int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("chunkfile: read index file: %w", err)
 	}
 	if len(raw) < 16 || string(raw[:8]) != indexMagic {
 		return nil, 0, ErrBadMagic

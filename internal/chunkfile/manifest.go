@@ -83,10 +83,12 @@ func OpenSharded(dir string) ([]*FileStore, *Manifest, error) {
 		}
 	}
 	for i, sf := range m.Shards {
-		st, err := Open(filepath.Join(dir, sf.ChunkFile), filepath.Join(dir, sf.IndexFile))
+		chunkPath := filepath.Join(dir, sf.ChunkFile)
+		indexPath := filepath.Join(dir, sf.IndexFile)
+		st, err := Open(chunkPath, indexPath)
 		if err != nil {
 			closeAll()
-			return nil, nil, fmt.Errorf("chunkfile: shard %d: %w", i, err)
+			return nil, nil, fmt.Errorf("chunkfile: shard %d (%s, %s): %w", i, chunkPath, indexPath, err)
 		}
 		switch {
 		case st.Dims() != m.Dims:
@@ -99,7 +101,7 @@ func OpenSharded(dir string) ([]*FileStore, *Manifest, error) {
 		if err != nil {
 			st.Close()
 			closeAll()
-			return nil, nil, fmt.Errorf("chunkfile: shard %d: %w", i, err)
+			return nil, nil, fmt.Errorf("chunkfile: shard %d (%s, %s): %w", i, chunkPath, indexPath, err)
 		}
 		stores = append(stores, st)
 	}
@@ -113,7 +115,7 @@ func WriteManifest(path string, m *Manifest) error {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("chunkfile: create manifest: %w", err)
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
@@ -151,7 +153,7 @@ func WriteManifest(path string, m *Manifest) error {
 func ReadManifest(path string) (*Manifest, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("chunkfile: read manifest: %w", err)
 	}
 	if len(raw) < 20 || string(raw[:8]) != manifestMagic {
 		return nil, ErrBadMagic

@@ -66,6 +66,12 @@ type Result struct {
 	Simulated time.Duration
 	// ChunksRead is the total chunks processed across searches.
 	ChunksRead int
+	// ChunksSkipped is the total chunks skipped as unavailable across
+	// searches (no live replica in a sharded deployment).
+	ChunksSkipped int
+	// Degraded reports that at least one descriptor's search skipped an
+	// unavailable chunk: image scores cover the reachable data only.
+	Degraded bool
 }
 
 // Searcher runs multi-descriptor queries against one chunk store. It is
@@ -144,6 +150,8 @@ func Aggregate(results []search.Result, opts Options) *Result {
 		sr := &results[qi]
 		res.Simulated += sr.Elapsed
 		res.ChunksRead += sr.ChunksRead
+		res.ChunksSkipped += sr.ChunksSkipped
+		res.Degraded = res.Degraded || sr.Degraded
 		// One vote per (descriptor, image): a descriptor matching many
 		// descriptors of one image counts once, preventing a single
 		// repetitive texture from dominating.

@@ -40,6 +40,7 @@
 package batchexec
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -421,7 +422,36 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 	members := a.pairs[g.lo:g.hi]
 	chunk := int(members[0].chunk)
 	m := &a.metas[chunk]
+	machine := int32(0)
+	if a.machines != nil {
+		machine = a.machines[chunk]
+	}
 	if err := a.store.ReadChunk(chunk, &ws.data); err != nil {
+		if errors.Is(err, chunkfile.ErrUnavailable) {
+			// No live replica serves this chunk: every member query skips
+			// it and degrades, exactly as the single-query path would. In
+			// the per-query cost model each member's machine would have
+			// made (and failed) this read itself, so each is charged the
+			// stall; no budget is spent and the stop rule is not consulted.
+			stall := ws.data.Stall
+			ws.data.Stall = 0
+			for _, p := range members {
+				st := &a.states[p.state]
+				res := st.res
+				st.pipes[machine].Stall(stall)
+				if e := st.pipes[machine].Elapsed(); e > res.Elapsed {
+					res.Elapsed = e
+				}
+				res.ChunksSkipped++
+				res.Degraded = true
+				if st.cursor+1 == len(st.ranked) {
+					a.retire(st)
+				} else {
+					st.cursor++
+				}
+			}
+			return
+		}
 		a.fail(members[0].state, err)
 		return
 	}
@@ -431,17 +461,17 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 	} else {
 		a.scanGroup(ws, members)
 	}
-	machine := int32(0)
-	if a.machines != nil {
-		machine = a.machines[chunk]
-	}
+	stall := ws.data.Stall
+	ws.data.Stall = 0
 	for _, p := range members {
 		st := &a.states[p.state]
 		res := st.res
 		// Charge the chunk to its owning machine's pipeline; the elapsed
 		// the stop rule sees is the max over the query's machines (they
 		// run in parallel). With one machine the max is the pipeline
-		// itself, so the single-machine path is unchanged.
+		// itself, so the single-machine path is unchanged. A read served
+		// by retries or failover first charges the attempts' stall.
+		st.pipes[machine].Stall(stall)
 		elapsed := st.pipes[machine].Chunk(m.Bytes, m.Count)
 		if elapsed < res.Elapsed {
 			elapsed = res.Elapsed
@@ -532,8 +562,13 @@ func (a *arena) scanGroup(ws *workerScratch, members []pair) {
 }
 
 // retire finalizes one query: sorted neighbors into the caller's reused
-// slice, wall time up to this query's completion.
+// slice, wall time up to this query's completion. A degraded query is
+// never exact — a skipped chunk may hold closer neighbors than any
+// certificate can rule out.
 func (a *arena) retire(st *queryState) {
+	if st.res.Degraded {
+		st.res.Exact = false
+	}
 	st.res.Neighbors = st.heap.SortedInto(st.res.Neighbors)
 	st.res.Wall = time.Since(a.start)
 	st.done = true

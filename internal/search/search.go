@@ -34,6 +34,7 @@
 package search
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -124,6 +125,14 @@ type Result struct {
 	IndexRead  time.Duration // simulated cost of reading + ranking the index
 	Wall       time.Duration // real wall-clock time of this call
 	Exact      bool          // true if the exact stop condition held at the end
+	// ChunksSkipped counts ranked chunks the store reported unavailable
+	// (chunkfile.ErrUnavailable — no live replica); the search completed
+	// without their descriptors.
+	ChunksSkipped int
+	// Degraded reports that at least one chunk was skipped as unavailable:
+	// the result is the best answer over the reachable data, Exact is
+	// necessarily false, and recall may be below a healthy run's.
+	Degraded bool
 }
 
 // RankedChunk is one chunk in a query's processing order.
@@ -265,8 +274,25 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 		rc := &ranked[pos]
 		m := &metas[rc.Idx]
 		if err := s.store.ReadChunk(rc.Idx, &sc.data); err != nil {
+			if errors.Is(err, chunkfile.ErrUnavailable) {
+				// No live replica serves this chunk: charge the simulated
+				// cost of the failed attempts, skip it, and complete the
+				// query degraded instead of aborting it. A skipped chunk
+				// spends no budget — the stop rule is not consulted, so the
+				// budget buys reachable chunks only.
+				sc.pipe.Stall(sc.data.Stall)
+				sc.data.Stall = 0
+				res.ChunksSkipped++
+				res.Degraded = true
+				if e := sc.pipe.Elapsed(); e > res.Elapsed {
+					res.Elapsed = e
+				}
+				continue
+			}
 			return err
 		}
+		sc.pipe.Stall(sc.data.Stall)
+		sc.data.Stall = 0
 		sc.d2 = ScanChunk(q, dims, &sc.data, heap, sc.d2)
 		elapsed := sc.pipe.Chunk(m.Bytes, m.Count)
 		res.ChunksRead++
@@ -288,8 +314,14 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 			break
 		}
 	}
-	if res.ChunksRead == len(ranked) {
+	if res.ChunksRead+res.ChunksSkipped == len(ranked) {
 		res.Exact = true
+	}
+	if res.Degraded {
+		// The certificate only bounds unread chunks *after* the stop point;
+		// a skipped chunk before it may hold closer neighbors, so a
+		// degraded result is never provably exact.
+		res.Exact = false
 	}
 	res.Neighbors = heap.SortedInto(neighbors)
 	res.Wall = time.Since(start)

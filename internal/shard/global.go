@@ -31,6 +31,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -61,11 +62,13 @@ type globalStore struct {
 	local  []int32 // index within the owning shard's store
 }
 
-// newGlobalStore concatenates the shards' chunk indexes.
+// newGlobalStore concatenates the shards' logical chunk indexes (the
+// primary prefixes): replica chunks are copies, never ranked or walked,
+// and every read goes through the views' replicated read path.
 func newGlobalStore(shards []routedShard, dims int) *globalStore {
 	total := 0
 	for s := range shards {
-		total += len(shards[s].store.Meta())
+		total += len(shards[s].view.Meta())
 	}
 	g := &globalStore{
 		dims:   dims,
@@ -75,8 +78,8 @@ func newGlobalStore(shards []routedShard, dims int) *globalStore {
 		stores: make([]chunkfile.Store, len(shards)),
 	}
 	for s := range shards {
-		g.stores[s] = shards[s].store
-		for ci, m := range shards[s].store.Meta() {
+		g.stores[s] = shards[s].view
+		for ci, m := range shards[s].view.Meta() {
 			g.metas = append(g.metas, m)
 			g.owner = append(g.owner, int32(s))
 			g.local = append(g.local, int32(ci))
@@ -114,6 +117,7 @@ type gscratch struct {
 	heap   *knn.Heap
 	pipes  []simdisk.Pipeline
 	counts []int
+	skips  []int
 	events []knn.Neighbor
 }
 
@@ -183,12 +187,17 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 		sc.counts = make([]int, n)
 	}
 	counts := sc.counts[:n]
+	if cap(sc.skips) < n {
+		sc.skips = make([]int, n)
+	}
+	skips := sc.skips[:n]
 	entrySize := chunkfile.EntrySize(r.dims)
 	indexRead := time.Duration(0)
 	for s := range pipes {
-		init := model.IndexReadTime(len(r.shards[s].store.Meta()), entrySize)
+		init := model.IndexReadTime(len(r.shards[s].view.Meta()), entrySize)
 		pipes[s].Reset(model, opts.Overlap, init)
 		counts[s] = 0
+		skips[s] = 0
 		if init > indexRead {
 			indexRead = init
 		}
@@ -212,10 +221,26 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 		rc := &sc.ranked[pos]
 		s := r.gstore.owner[rc.Idx]
 		m := &r.gstore.metas[rc.Idx]
-		if err := r.shards[s].store.ReadChunk(int(r.gstore.local[rc.Idx]), &sc.data); err != nil {
+		if err := r.gstore.ReadChunk(rc.Idx, &sc.data); err != nil {
+			if errors.Is(err, chunkfile.ErrUnavailable) {
+				// No live replica: charge the owning shard's machine for
+				// the failed attempts, skip the chunk without spending
+				// budget, and degrade. Same contract as the per-shard path.
+				pipes[s].Stall(sc.data.Stall)
+				sc.data.Stall = 0
+				skips[s]++
+				res.ChunksSkipped++
+				res.Degraded = true
+				if e := pipes[s].Elapsed(); e > res.Elapsed {
+					res.Elapsed = e
+				}
+				continue
+			}
 			res.Neighbors, res.PerShard = neighbors, perShard
 			return &ShardError{Shard: int(s), Err: err}
 		}
+		pipes[s].Stall(sc.data.Stall)
+		sc.data.Stall = 0
 		sc.d2 = search.ScanChunk(q, r.dims, &sc.data, heap, sc.d2)
 		elapsed := pipes[s].Chunk(m.Bytes, m.Count)
 		if elapsed < res.Elapsed {
@@ -241,14 +266,25 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 			break
 		}
 	}
-	if res.ChunksRead == len(sc.ranked) {
+	if res.ChunksRead+res.ChunksSkipped == len(sc.ranked) {
 		res.Exact = true
+	}
+	if res.Degraded {
+		// A skipped chunk before the stop point may hold closer neighbors
+		// than any certificate can rule out.
+		res.Exact = false
 	}
 	res.Neighbors = heap.SortedInto(neighbors)
 	for s := range pipes {
-		perShard = append(perShard, ShardCost{ChunksRead: counts[s], Elapsed: pipes[s].Elapsed(), Exact: res.Exact})
+		perShard = append(perShard, ShardCost{
+			ChunksRead:    counts[s],
+			ChunksSkipped: skips[s],
+			Elapsed:       pipes[s].Elapsed(),
+			Exact:         res.Exact,
+		})
 	}
 	res.PerShard = perShard
+	res.ShardsDown = r.DownShards()
 	res.Wall = time.Since(start)
 	return nil
 }

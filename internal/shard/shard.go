@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunkfile"
@@ -13,6 +14,20 @@ import (
 	"repro/internal/search/batchexec"
 	"repro/internal/simdisk"
 	"repro/internal/vec"
+)
+
+// Typed failure-path errors. ErrAllReplicasDown wraps
+// chunkfile.ErrUnavailable, so the search layers recognize a chunk with
+// no live replica as skippable and complete the query in degraded mode.
+var (
+	// ErrShardDown marks a shard whose store failed permanently: the
+	// router's health tracking has taken it out of rotation and no read
+	// is routed to it until ResetHealth.
+	ErrShardDown = errors.New("shard: shard down")
+	// ErrAllReplicasDown reports that a chunk could not be served by any
+	// of its R placements. It wraps chunkfile.ErrUnavailable: queries
+	// skip the chunk and degrade instead of aborting.
+	ErrAllReplicasDown = fmt.Errorf("shard: all replicas down: %w", chunkfile.ErrUnavailable)
 )
 
 // ShardError reports which shard of a scatter failed. When several shards
@@ -36,8 +51,11 @@ func (e *ShardError) Unwrap() error { return e.Err }
 // Exact mirrors the merged result's.
 type ShardCost struct {
 	ChunksRead int
-	Elapsed    time.Duration // this shard's simulated machine
-	Exact      bool
+	// ChunksSkipped counts this shard's logical chunks no live replica
+	// could serve.
+	ChunksSkipped int
+	Elapsed       time.Duration // this shard's simulated machine
+	Exact         bool
 }
 
 // Result is the merged outcome of one scatter-gather query, under either
@@ -52,20 +70,68 @@ type Result struct {
 	Wall      time.Duration // real time of the scatter-gather call
 	// Exact reports that the result is provably the exact global k-NN: in
 	// per-shard mode every shard's certificate held; in global mode the
-	// merged suffix-bound certificate held.
+	// merged suffix-bound certificate held. A degraded result is never
+	// exact.
 	Exact bool
+	// Degraded reports that at least one chunk had no live replica and
+	// was skipped: the result covers the reachable data only.
+	Degraded bool
+	// ChunksSkipped is the total number of logical chunks skipped as
+	// unavailable across the shards.
+	ChunksSkipped int
+	// ShardsDown is the number of shards the router's health tracking
+	// held down when the query finished.
+	ShardsDown int
 	// PerShard is the per-shard breakdown in shard order; the slice is
 	// reused across calls on a recycled Result.
 	PerShard []ShardCost
 }
 
-// routedShard is one shard's serving stack: the store plus the two
-// execution paths over it.
+// routedShard is one shard's serving stack: the physical store, the
+// logical view the queries actually run over (the primary prefix of the
+// physical store, with every read routed through the router's replicated
+// read path), and the two execution paths over that view.
 type routedShard struct {
 	store    chunkfile.Store
+	view     *shardView
 	searcher *search.Searcher
 	engine   *batchexec.Engine
 }
+
+// shardView presents shard s's logical chunk index — its primary chunks
+// only — as a chunkfile.Store whose ReadChunk goes through the router's
+// replicated, health-aware read path. Searchers and engines run over the
+// view, so replica chunks (the physical suffix) are never ranked or
+// scanned directly and merged neighbor lists stay duplicate-free; the
+// replicas only serve failovers.
+type shardView struct {
+	r     *Router
+	shard int
+	metas []chunkfile.Meta // primary prefix of the physical store's metas
+}
+
+var _ chunkfile.Store = (*shardView)(nil)
+
+// Dims implements chunkfile.Store.
+func (v *shardView) Dims() int { return v.r.dims }
+
+// Meta implements chunkfile.Store: the shard's logical chunk index.
+// Callers must not modify it.
+func (v *shardView) Meta() []chunkfile.Meta { return v.metas }
+
+// ReadChunk implements chunkfile.Store via the router's replicated read
+// path: retry on transient errors, fail over to the least-loaded live
+// replica, report chunkfile.ErrUnavailable (wrapped in
+// ErrAllReplicasDown) when no placement can serve the chunk. The
+// simulated cost of failed attempts is returned in data.Stall per the
+// chunkfile.Data contract.
+func (v *shardView) ReadChunk(i int, data *chunkfile.Data) error {
+	return v.r.readChunk(v.shard, i, data)
+}
+
+// Close implements chunkfile.Store as a no-op: the Router owns the
+// physical stores and closes them in Router.Close.
+func (v *shardView) Close() error { return nil }
 
 // Router serves queries scatter-gather across a set of shards. It is safe
 // for concurrent use.
@@ -82,9 +148,17 @@ type routedShard struct {
 //     fleet — ChunkBudget(B) reads exactly min(B, total) chunks. See
 //     global.go and DESIGN.md §7.
 type Router struct {
-	shards []routedShard
-	dims   int
-	model  *simdisk.Model // resolved default model for the global paths
+	shards    []routedShard
+	dims      int
+	model     *simdisk.Model // resolved default model for the global paths
+	placement *Placement
+	// Health state: down[s] is sticky-true once shard s's store failed
+	// permanently, loads[s] counts the chunk reads shard s has served
+	// (the failover path's least-loaded replica choice), downCount is the
+	// number of down shards.
+	down      []atomic.Bool
+	loads     []atomic.Int64
+	downCount atomic.Int32
 	// gstore is the virtual concatenated store the global-budget mode
 	// ranks and reads through; gengine is the chunk-major batch engine
 	// over it, configured per run with the chunk→shard machine mapping.
@@ -106,26 +180,56 @@ type scatter struct {
 	errs   []error
 }
 
-// NewRouter builds a Router over one store per shard. A nil model selects
-// the calibrated 2005 model for every shard's machine.
+// NewRouter builds a Router over one store per shard, unreplicated: every
+// store's chunks are all primary (R=1), so a chunk whose shard dies has
+// no replica and queries over it degrade. A nil model selects the
+// calibrated 2005 model for every shard's machine.
 func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no stores")
+	}
+	p := &Placement{
+		R:          1,
+		NumPrimary: make([]int, len(stores)),
+		Replicas:   make([][][]ChunkLoc, len(stores)),
+	}
+	for s, st := range stores {
+		p.NumPrimary[s] = len(st.Meta())
+		p.Replicas[s] = make([][]ChunkLoc, len(st.Meta()))
+	}
+	return NewReplicatedRouter(stores, p, model)
+}
+
+// NewReplicatedRouter builds a Router over one physical store per shard
+// and the placement describing each store's primary prefix and the
+// replica locations of every logical chunk (see PartitionReplicated).
+// Queries run over the logical views; replicas serve failovers. A nil
+// model selects the calibrated 2005 model for every shard's machine.
+func NewReplicatedRouter(stores []chunkfile.Store, placement *Placement, model *simdisk.Model) (*Router, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: no stores")
+	}
+	if err := validatePlacement(stores, placement); err != nil {
+		return nil, err
 	}
 	if model == nil {
 		model = simdisk.Default2005()
 	}
 	dims := stores[0].Dims()
-	r := &Router{dims: dims, model: model}
+	r := &Router{dims: dims, model: model, placement: placement}
+	r.down = make([]atomic.Bool, len(stores))
+	r.loads = make([]atomic.Int64, len(stores))
 	for i, st := range stores {
 		if st.Dims() != dims {
 			return nil, fmt.Errorf("shard: shard %d dims %d != shard 0 dims %d", i, st.Dims(), dims)
 		}
-		r.shards = append(r.shards, routedShard{
-			store:    st,
-			searcher: search.New(st, model),
-			engine:   batchexec.New(st, model),
-		})
+		r.shards = append(r.shards, routedShard{store: st})
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.view = &shardView{r: r, shard: i, metas: sh.store.Meta()[:placement.NumPrimary[i]]}
+		sh.searcher = search.New(sh.view, model)
+		sh.engine = batchexec.New(sh.view, model)
 	}
 	r.gstore = newGlobalStore(r.shards, dims)
 	r.gengine = batchexec.New(r.gstore, model)
@@ -138,11 +242,208 @@ func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) 
 	return r, nil
 }
 
+// validatePlacement cross-checks a placement against the physical
+// stores, so a stale or corrupt sidecar fails at router construction
+// with a diagnostic error instead of an out-of-range read mid-query.
+func validatePlacement(stores []chunkfile.Store, p *Placement) error {
+	if p == nil {
+		return errors.New("shard: nil placement")
+	}
+	if p.R < 1 {
+		return fmt.Errorf("shard: placement replication factor %d < 1", p.R)
+	}
+	if len(p.NumPrimary) != len(stores) || len(p.Replicas) != len(stores) {
+		return fmt.Errorf("shard: placement describes %d shards, router has %d", len(p.NumPrimary), len(stores))
+	}
+	for s, st := range stores {
+		if p.NumPrimary[s] < 0 || p.NumPrimary[s] > len(st.Meta()) {
+			return fmt.Errorf("shard: placement shard %d: %d primary chunks, store has %d", s, p.NumPrimary[s], len(st.Meta()))
+		}
+		if len(p.Replicas[s]) != p.NumPrimary[s] {
+			return fmt.Errorf("shard: placement shard %d: %d replica lists for %d primary chunks", s, len(p.Replicas[s]), p.NumPrimary[s])
+		}
+		for i, locs := range p.Replicas[s] {
+			if len(locs) != p.R-1 {
+				return fmt.Errorf("shard: placement shard %d chunk %d: %d replicas, want %d", s, i, len(locs), p.R-1)
+			}
+			for _, loc := range locs {
+				if int(loc.Shard) < 0 || int(loc.Shard) >= len(stores) || int(loc.Shard) == s {
+					return fmt.Errorf("shard: placement shard %d chunk %d: replica shard %d invalid", s, i, loc.Shard)
+				}
+				if int(loc.Chunk) < 0 || int(loc.Chunk) >= len(stores[loc.Shard].Meta()) {
+					return fmt.Errorf("shard: placement shard %d chunk %d: replica chunk %d outside shard %d's %d chunks",
+						s, i, loc.Chunk, loc.Shard, len(stores[loc.Shard].Meta()))
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // Shards returns the shard count.
 func (r *Router) Shards() int { return len(r.shards) }
 
-// Store returns shard i's chunk store.
+// Store returns shard i's physical chunk store (primary chunks followed
+// by any replica chunks placed on it).
 func (r *Router) Store(i int) chunkfile.Store { return r.shards[i].store }
+
+// Replication returns the layout's replication factor R.
+func (r *Router) Replication() int { return r.placement.R }
+
+// Chunks returns the total logical chunk count across shards: replicas
+// are copies, not extra chunks.
+func (r *Router) Chunks() int {
+	n := 0
+	for s := range r.shards {
+		n += len(r.shards[s].view.metas)
+	}
+	return n
+}
+
+// Descriptors returns the number of distinct descriptors reachable
+// through the router (each counted once, however many replicas hold it).
+func (r *Router) Descriptors() int {
+	n := 0
+	for s := range r.shards {
+		for _, m := range r.shards[s].view.metas {
+			n += m.Count
+		}
+	}
+	return n
+}
+
+// MarkShardDown takes shard s out of rotation, as the router's own read
+// path does when the shard's store fails permanently: no read is routed
+// to it until ResetHealth. Marking is sticky and idempotent.
+func (r *Router) MarkShardDown(s int) {
+	if !r.down[s].Swap(true) {
+		r.downCount.Add(1)
+	}
+}
+
+// ShardDown reports whether shard s is currently held down.
+func (r *Router) ShardDown(s int) bool { return r.down[s].Load() }
+
+// DownShards returns the number of shards currently held down.
+func (r *Router) DownShards() int { return int(r.downCount.Load()) }
+
+// ResetHealth returns every shard to rotation and zeroes the replica
+// load counters — the "operator replaced the disk" switch, and the way
+// tests reuse one router across fault scenarios.
+func (r *Router) ResetHealth() {
+	for s := range r.down {
+		if r.down[s].Swap(false) {
+			r.downCount.Add(-1)
+		}
+		r.loads[s].Store(0)
+	}
+}
+
+// Retry policy of the replicated read path: on a transient error
+// (Temporary() == true, the net.Error convention) the same placement is
+// retried up to readAttempts times, each failed attempt charged at the
+// chunk's simulated read cost plus an exponentially growing backoff; a
+// permanent error marks the placement's shard down and fails over
+// immediately.
+const readAttempts = 3
+
+const backoffBase = 2 * time.Millisecond
+
+// isTemporary classifies an error as transient (retry may succeed) via
+// the Temporary() convention.
+func isTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// readChunk serves logical chunk i of shard s from the least-loaded live
+// placement: the primary first (shard s itself, physical chunk i), then
+// the placement's replicas, each attempt bounded by the retry policy.
+// The simulated cost of every failed attempt — retries, backoff, and
+// failed placements — is accumulated into data.Stall, charged by the
+// consumer to the pipeline of the *owning* shard s: in the cost model
+// shard s's machine is the one serving (and retrying) its own chunks,
+// replica choice being a real-time load-balancing effect. When no
+// placement can serve the chunk the error wraps ErrAllReplicasDown (and
+// so chunkfile.ErrUnavailable), with data.Stall still reporting the cost
+// of the attempts made.
+func (r *Router) readChunk(s, i int, data *chunkfile.Data) error {
+	data.Stall = 0
+	replicas := r.placement.Replicas[s][i]
+	nCand := 1 + len(replicas)
+	var stall time.Duration
+	var tried uint64
+	lastErr := error(nil)
+	for {
+		// Least-loaded untried live candidate; ties prefer the primary,
+		// then earlier replicas.
+		best, bestLoad := -1, int64(0)
+		for c := 0; c < nCand; c++ {
+			if tried&(1<<c) != 0 {
+				continue
+			}
+			cs := s
+			if c > 0 {
+				cs = int(replicas[c-1].Shard)
+			}
+			if r.down[cs].Load() {
+				tried |= 1 << c
+				if lastErr == nil {
+					lastErr = ErrShardDown
+				}
+				continue
+			}
+			if load := r.loads[cs].Load(); best < 0 || load < bestLoad {
+				best, bestLoad = c, load
+			}
+		}
+		if best < 0 {
+			break
+		}
+		tried |= 1 << best
+		cs, ci := s, i
+		if best > 0 {
+			cs, ci = int(replicas[best-1].Shard), int(replicas[best-1].Chunk)
+		}
+		if err := r.attemptRead(cs, ci, data, &stall); err != nil {
+			lastErr = err
+			continue
+		}
+		r.loads[cs].Add(1)
+		data.Stall = stall
+		return nil
+	}
+	data.Stall = stall
+	if lastErr != nil {
+		return fmt.Errorf("shard: shard %d chunk %d: %w: %w", s, i, ErrAllReplicasDown, lastErr)
+	}
+	return fmt.Errorf("shard: shard %d chunk %d: %w", s, i, ErrAllReplicasDown)
+}
+
+// attemptRead reads physical chunk ci of shard cs under the retry
+// policy, accumulating the simulated cost of failed attempts into stall.
+// A permanent failure marks the shard down; exhausted transient retries
+// leave the shard up (the next read will try it afresh) and make the
+// caller fail over.
+func (r *Router) attemptRead(cs, ci int, data *chunkfile.Data, stall *time.Duration) error {
+	st := r.shards[cs].store
+	bytes := st.Meta()[ci].Bytes
+	var err error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if err = st.ReadChunk(ci, data); err == nil {
+			return nil
+		}
+		*stall += r.model.ReadTime(bytes)
+		if !isTemporary(err) {
+			r.MarkShardDown(cs)
+			return err
+		}
+		if attempt+1 < readAttempts {
+			*stall += backoffBase << attempt
+		}
+	}
+	return err
+}
 
 // Close closes every shard's store.
 func (r *Router) Close() error {
@@ -220,9 +521,15 @@ func (r *Router) SearchInto(q vec.Vector, opts search.Options, res *Result) erro
 	res.Neighbors, sc.cur = mergeNeighbors(sc.rows, opts.K, neighbors, sc.cur)
 	for _, row := range sc.rows {
 		foldCost(res, row)
-		perShard = append(perShard, ShardCost{ChunksRead: row.ChunksRead, Elapsed: row.Elapsed, Exact: row.Exact})
+		perShard = append(perShard, ShardCost{
+			ChunksRead:    row.ChunksRead,
+			ChunksSkipped: row.ChunksSkipped,
+			Elapsed:       row.Elapsed,
+			Exact:         row.Exact,
+		})
 	}
 	res.PerShard = perShard
+	res.ShardsDown = r.DownShards()
 	res.Wall = time.Since(start)
 	return nil
 }
@@ -297,6 +604,7 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 		res.Exact = true
 		for _, row := range sc.rows {
 			res.ChunksRead += row.ChunksRead
+			res.ChunksSkipped += row.ChunksSkipped
 			if row.Elapsed > res.Elapsed {
 				res.Elapsed = row.Elapsed
 			}
@@ -304,6 +612,7 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 				res.IndexRead = row.IndexRead
 			}
 			res.Exact = res.Exact && row.Exact
+			res.Degraded = res.Degraded || row.Degraded
 		}
 		res.Wall = wall
 	}
@@ -398,11 +707,13 @@ func mergeNeighbors(rows []*search.Result, k int, dst []knn.Neighbor, cur []int)
 	return dst, cur
 }
 
-// foldCost folds one shard's costs into the merged result: chunks sum,
-// simulated times max (the shards run in parallel), exactness ANDs (the
-// caller seeds Exact to true before the first fold).
+// foldCost folds one shard's costs into the merged result: chunks (read
+// and skipped) sum, simulated times max (the shards run in parallel),
+// exactness ANDs (the caller seeds Exact to true before the first fold),
+// degradation ORs.
 func foldCost(res *Result, row *search.Result) {
 	res.ChunksRead += row.ChunksRead
+	res.ChunksSkipped += row.ChunksSkipped
 	if row.Elapsed > res.Elapsed {
 		res.Elapsed = row.Elapsed
 	}
@@ -410,6 +721,7 @@ func foldCost(res *Result, row *search.Result) {
 		res.IndexRead = row.IndexRead
 	}
 	res.Exact = res.Exact && row.Exact
+	res.Degraded = res.Degraded || row.Degraded
 }
 
 // grow returns s with length n, reusing its capacity (and the neighbor

@@ -135,5 +135,22 @@ func (p *Pipeline) Chunk(bytes, descriptors int) time.Duration {
 	return p.cpuDone
 }
 
+// Stall delays the pipeline's read stream by d — the cost of a failed
+// read attempt plus its retry backoff in the fault-tolerant read path. The
+// delay lands on the I/O clock (in overlapped mode a CPU still busy on a
+// previous chunk absorbs what it can, exactly as a real prefetcher would);
+// the CPU clock is dragged along when it has caught up. Charging the stall
+// before the chunk it delayed keeps the cost model honest: the machine
+// that performed the retries is the machine billed for them.
+func (p *Pipeline) Stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.ioDone += d
+	if p.cpuDone < p.ioDone {
+		p.cpuDone = p.ioDone
+	}
+}
+
 // Elapsed returns the current simulated elapsed time.
 func (p *Pipeline) Elapsed() time.Duration { return p.cpuDone }

@@ -50,6 +50,10 @@ type Stats struct {
 	ChunksRead int           // total chunks processed across queries
 	Simulated  time.Duration // summed per-query simulated time
 	Exact      int           // queries whose result was provably exact
+	// ChunksSkipped is the total chunks skipped as unavailable across
+	// queries; Degraded counts the queries that skipped at least one.
+	ChunksSkipped int
+	Degraded      int
 }
 
 // Summarize folds per-query results into workload-level statistics.
@@ -60,6 +64,10 @@ func Summarize(results []search.Result) Stats {
 		st.Simulated += results[i].Elapsed
 		if results[i].Exact {
 			st.Exact++
+		}
+		st.ChunksSkipped += results[i].ChunksSkipped
+		if results[i].Degraded {
+			st.Degraded++
 		}
 	}
 	return st

@@ -71,6 +71,35 @@ func TrimmedRanges(coll *descriptor.Collection, trim float64) (lo, hi vec.Vector
 	return lo, hi, nil
 }
 
+// Zipf returns n dataset queries with Zipf-skewed repetition: query
+// targets are drawn from a Zipf(s, v=1) distribution over the collection
+// positions visited in a seeded random order, so a few descriptors are
+// queried over and over while the tail is hit rarely — the skewed access
+// pattern that makes hot-cluster replication matter (Tavenard et al.,
+// PAPERS.md). s must be > 1 (larger is more skewed; ~1.3 is a typical
+// web-workload shape). Vectors are cloned.
+func Zipf(coll *descriptor.Collection, n int, s float64, seed int64) ([]vec.Vector, error) {
+	if coll.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty collection")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need positive query count, got %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: Zipf exponent %v must be > 1", s)
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Decouple popularity rank from collection order: rank k maps to a
+	// random position, so the hot set is not just the first descriptors.
+	perm := r.Perm(coll.Len())
+	z := rand.NewZipf(r, s, 1, uint64(coll.Len()-1))
+	out := make([]vec.Vector, n)
+	for qi := range out {
+		out[qi] = coll.Vec(perm[z.Uint64()]).Clone()
+	}
+	return out, nil
+}
+
 // SQ returns n space queries drawn uniformly from the per-dimension
 // trimmed ranges of the collection (trim = 0.05 in the paper).
 func SQ(coll *descriptor.Collection, n int, trim float64, seed int64) ([]vec.Vector, error) {

@@ -94,6 +94,15 @@ func SpaceQueries(c *Collection, n int, seed int64) ([]Vector, error) {
 	return workload.SQ(c, n, 0.05, seed)
 }
 
+// ZipfQueries returns n dataset queries with Zipf-skewed repetition
+// (exponent s > 1; larger is more skewed): a few descriptors are queried
+// over and over while the tail is hit rarely. This is the workload shape
+// under which hot-cluster replication (BuildReplicated with a sample)
+// pays off.
+func ZipfQueries(c *Collection, n int, s float64, seed int64) ([]Vector, error) {
+	return workload.Zipf(c, n, s, seed)
+}
+
 // Strategy selects a chunk-forming algorithm.
 type Strategy string
 
@@ -303,8 +312,17 @@ type Result struct {
 	Simulated time.Duration
 	Wall      time.Duration
 	// Exact reports whether the result is provably the true k-NN of the
-	// indexed descriptors.
+	// indexed descriptors. A degraded result is never exact.
 	Exact bool
+	// Degraded reports that at least one chunk had no live replica and
+	// was skipped (sharded indexes only): Neighbors is the best answer
+	// over the reachable data, honestly labeled rather than an error.
+	Degraded bool
+	// ChunksSkipped counts the chunks skipped as unavailable.
+	ChunksSkipped int
+	// ShardsDown is the number of shards the router held down when the
+	// query finished (always 0 for an unsharded Index).
+	ShardsDown int
 }
 
 // Search runs one query against the index.
@@ -348,6 +366,9 @@ func (ix *Index) SearchInto(q Vector, opts SearchOptions, res *Result) error {
 	res.Simulated = sr.Elapsed
 	res.Wall = sr.Wall
 	res.Exact = sr.Exact
+	res.Degraded = sr.Degraded
+	res.ChunksSkipped = sr.ChunksSkipped
+	res.ShardsDown = 0
 	return nil
 }
 

@@ -3,6 +3,8 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/chunkfile"
@@ -34,14 +36,15 @@ import (
 // IDs, distances, ChunksRead, Simulated and Exact under every stop rule,
 // in both budget disciplines.
 type ShardedIndex struct {
-	router   *shard.Router
-	pageSize int
+	router    *shard.Router
+	pageSize  int
+	placement *shard.Placement
 
 	batchPool sync.Pool // *[]search.Result: SearchBatchInto's internal arena
 	resPool   sync.Pool // *shard.Result: SearchInto's merge scratch
 
 	coll  *Collection          // nil for file-opened indexes
-	parts [][]*cluster.Cluster // per-shard clusters; nil for file-opened indexes
+	parts [][]*cluster.Cluster // per-shard physical clusters; nil for file-opened indexes
 
 	// Outliers holds the collection positions BAG discarded (empty for
 	// the other strategies and for file-opened indexes).
@@ -63,27 +66,51 @@ func newShardedIndex(router *shard.Router, pageSize int) *ShardedIndex {
 // strategy and partitions them across the given number of shards,
 // balanced by padded on-disk chunk bytes (greedy largest-first, fully
 // deterministic). Each shard becomes its own in-memory chunk index.
+// The layout is unreplicated (R=1): a shard lost at serving time makes
+// queries over its chunks degrade. BuildReplicated adds replicas.
 func BuildSharded(coll *Collection, cfg BuildConfig, shards int) (*ShardedIndex, error) {
+	return BuildReplicated(coll, cfg, shards, 1, nil)
+}
+
+// BuildReplicated is BuildSharded with a replication factor: every chunk
+// lives on its primary shard (the same balanced assignment BuildSharded
+// makes, so healthy results are independent of replication) plus
+// replication−1 replica shards, which serve the chunk when the primary's
+// shard is down. With replication 2 any single shard can fail with zero
+// result degradation.
+//
+// sample, when non-nil, is a recorded workload sample (e.g. a slice of
+// DatasetQueries): replicas of the clusters the sample hits most are
+// placed first onto the least-loaded shards, following the
+// hot-cluster-replication strategy of Tavenard et al. A nil sample
+// places replicas round-robin.
+func BuildReplicated(coll *Collection, cfg BuildConfig, shards, replication int, sample []Vector) (*ShardedIndex, error) {
 	clusters, outliers, err := buildClusters(coll, cfg)
 	if err != nil {
 		return nil, err
 	}
 	pageSize := normalizePageSize(cfg.PageSize)
-	assign, err := shard.Partition(clusters, shards, coll.Dims(), pageSize)
+	var heat []float64
+	if len(sample) > 0 {
+		heat = shard.Heat(clusters, sample, 0)
+	}
+	placement, err := shard.PartitionReplicated(clusters, shards, replication, coll.Dims(), pageSize, heat)
 	if err != nil {
 		return nil, err
 	}
-	parts := make([][]*cluster.Cluster, len(assign))
-	stores := make([]chunkfile.Store, len(assign))
-	for s, idxs := range assign {
+	parts := make([][]*cluster.Cluster, shards)
+	stores := make([]chunkfile.Store, shards)
+	for s := 0; s < shards; s++ {
+		idxs := append(append([]int(nil), placement.Primary[s]...), placement.Extra[s]...)
 		parts[s] = shard.Select(clusters, idxs)
 		stores[s] = chunkfile.NewMemStore(coll, parts[s], pageSize)
 	}
-	router, err := shard.NewRouter(stores, nil)
+	router, err := shard.NewReplicatedRouter(stores, placement, nil)
 	if err != nil {
 		return nil, err
 	}
 	sx := newShardedIndex(router, pageSize)
+	sx.placement = placement
 	sx.coll = coll
 	sx.parts = parts
 	sx.Outliers = outliers
@@ -91,18 +118,27 @@ func BuildSharded(coll *Collection, cfg BuildConfig, shards int) (*ShardedIndex,
 }
 
 // Save writes the sharded index into dir: one shard-<i>.chunk /
-// shard-<i>.idx pair per shard plus a manifest, all at the page size the
-// index was built with. Only indexes produced by BuildSharded can be
-// saved.
+// shard-<i>.idx pair per shard (primary chunks followed by any replica
+// chunks) plus a manifest, all at the page size the index was built
+// with; replicated indexes additionally write the replica-placement
+// sidecar OpenSharded restores the layout from. Only indexes produced by
+// BuildSharded / BuildReplicated can be saved.
 func (sx *ShardedIndex) Save(dir string) error {
 	if sx.coll == nil || sx.parts == nil {
 		return fmt.Errorf("repro: sharded index was not built in this process; nothing to save")
 	}
-	return chunkfile.SaveSharded(sx.coll, sx.parts, dir, sx.pageSize)
+	if err := chunkfile.SaveSharded(sx.coll, sx.parts, dir, sx.pageSize); err != nil {
+		return err
+	}
+	if sx.placement != nil && sx.placement.R > 1 {
+		return shard.SavePlacement(filepath.Join(dir, shard.PlacementName), sx.placement)
+	}
+	return nil
 }
 
 // OpenSharded maps a sharded index directory previously written by
-// ShardedIndex.Save.
+// ShardedIndex.Save, restoring the replica placement when the index was
+// built with replication.
 func OpenSharded(dir string) (*ShardedIndex, error) {
 	stores, manifest, err := chunkfile.OpenSharded(dir)
 	if err != nil {
@@ -112,14 +148,35 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 	for i, st := range stores {
 		shardStores[i] = st
 	}
-	router, err := shard.NewRouter(shardStores, nil)
-	if err != nil {
+	closeAll := func() {
 		for _, st := range stores {
 			st.Close()
 		}
+	}
+	var placement *shard.Placement
+	placementPath := filepath.Join(dir, shard.PlacementName)
+	if _, serr := os.Stat(placementPath); serr == nil {
+		if placement, err = shard.LoadPlacement(placementPath); err != nil {
+			closeAll()
+			return nil, err
+		}
+	} else if !errors.Is(serr, os.ErrNotExist) {
+		closeAll()
+		return nil, fmt.Errorf("repro: stat placement file: %w", serr)
+	}
+	var router *shard.Router
+	if placement != nil {
+		router, err = shard.NewReplicatedRouter(shardStores, placement, nil)
+	} else {
+		router, err = shard.NewRouter(shardStores, nil)
+	}
+	if err != nil {
+		closeAll()
 		return nil, err
 	}
-	return newShardedIndex(router, manifest.PageSize), nil
+	sx := newShardedIndex(router, manifest.PageSize)
+	sx.placement = placement
+	return sx, nil
 }
 
 // Close releases every shard's resources.
@@ -128,25 +185,33 @@ func (sx *ShardedIndex) Close() error { return sx.router.Close() }
 // Shards returns the shard count.
 func (sx *ShardedIndex) Shards() int { return sx.router.Shards() }
 
-// Chunks returns the total number of chunks across shards.
-func (sx *ShardedIndex) Chunks() int {
-	n := 0
-	for s := 0; s < sx.router.Shards(); s++ {
-		n += len(sx.router.Store(s).Meta())
-	}
-	return n
-}
+// Replication returns the layout's replication factor R (1 for an
+// unreplicated index).
+func (sx *ShardedIndex) Replication() int { return sx.router.Replication() }
 
-// Len returns the number of descriptors reachable through the index.
-func (sx *ShardedIndex) Len() int {
-	n := 0
-	for s := 0; s < sx.router.Shards(); s++ {
-		for _, m := range sx.router.Store(s).Meta() {
-			n += m.Count
-		}
-	}
-	return n
-}
+// Chunks returns the total number of logical chunks across shards;
+// replicas are copies, not extra chunks.
+func (sx *ShardedIndex) Chunks() int { return sx.router.Chunks() }
+
+// Len returns the number of distinct descriptors reachable through the
+// index (each counted once, however many replicas hold it).
+func (sx *ShardedIndex) Len() int { return sx.router.Descriptors() }
+
+// MarkShardDown takes shard s out of rotation, exactly as the router's
+// own read path does when the shard's store fails permanently: reads
+// fail over to replicas, and chunks with no live replica are skipped
+// with Result.Degraded set. The switch for failure drills and tests.
+func (sx *ShardedIndex) MarkShardDown(s int) { sx.router.MarkShardDown(s) }
+
+// ShardDown reports whether shard s is currently held down.
+func (sx *ShardedIndex) ShardDown(s int) bool { return sx.router.ShardDown(s) }
+
+// ShardsDown returns the number of shards currently held down.
+func (sx *ShardedIndex) ShardsDown() int { return sx.router.DownShards() }
+
+// ResetHealth returns every shard to rotation — the "operator replaced
+// the disk" switch.
+func (sx *ShardedIndex) ResetHealth() { sx.router.ResetHealth() }
 
 // Search runs one query scatter-gather across the shards.
 func (sx *ShardedIndex) Search(q Vector, opts SearchOptions) (*Result, error) {
@@ -187,6 +252,9 @@ func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) er
 	res.Simulated = sr.Elapsed
 	res.Wall = sr.Wall
 	res.Exact = sr.Exact
+	res.Degraded = sr.Degraded
+	res.ChunksSkipped = sr.ChunksSkipped
+	res.ShardsDown = sr.ShardsDown
 	sr.Neighbors = neighbors[:0] // keep the pooled scratch's own buffer
 	return nil
 }
@@ -236,14 +304,18 @@ func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, res
 		}
 		return fmt.Errorf("repro: %w", err)
 	}
+	shardsDown := sx.router.DownShards()
 	for i := range results {
 		sr := &srs[i]
 		results[i] = Result{
-			Neighbors:  sr.Neighbors,
-			ChunksRead: sr.ChunksRead,
-			Simulated:  sr.Elapsed,
-			Wall:       sr.Wall,
-			Exact:      sr.Exact,
+			Neighbors:     sr.Neighbors,
+			ChunksRead:    sr.ChunksRead,
+			Simulated:     sr.Elapsed,
+			Wall:          sr.Wall,
+			Exact:         sr.Exact,
+			Degraded:      sr.Degraded,
+			ChunksSkipped: sr.ChunksSkipped,
+			ShardsDown:    shardsDown,
 		}
 		srs[i] = search.Result{} // do not retain caller slices in the pool
 	}
