@@ -37,6 +37,9 @@ type BatchOptions struct {
 // The batch fails fast: any error aborts the run and is reported for the
 // lowest-numbered query that hit it; no results are valid afterwards.
 func (ix *Index) SearchBatchInto(queries []Vector, opts BatchOptions, results []Result) error {
+	if err := opts.SearchOptions.validate(); err != nil {
+		return err
+	}
 	if len(results) != len(queries) {
 		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
 	}
@@ -58,6 +61,7 @@ func (ix *Index) SearchBatchInto(queries []Vector, opts BatchOptions, results []
 		Model:       opts.Model,
 		Overlap:     opts.Overlap,
 		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
 	}, srs)
 	if err != nil {
 		for i := range srs {

@@ -12,23 +12,35 @@
 // replication 1 and 2, each scored with p99 simulated time and recall
 // against the exact ground truth.
 //
+// Schema 4 adds serving rows measured end to end over HTTP loopback
+// through internal/server: sequential search latency (wall p50/p99 from
+// the server's own histogram), shed rate under 2× saturating concurrency
+// against a bounded in-flight limiter, and the degraded-response count
+// with shard 0 held down at replication 1 (honest degradation) and 2
+// (replicas mask the failure).
+//
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_6.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_7.json]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/server"
 	"repro/internal/vec"
 )
 
@@ -57,6 +69,13 @@ type measurement struct {
 	Recall          float64 `json:"recall,omitempty"`
 	DegradedQueries int     `json:"degraded_queries,omitempty"`
 	SkippedPerQuery float64 `json:"chunks_skipped_per_query,omitempty"`
+	// Serving-row fields (schema 4), all reported by the server itself:
+	// WallP50Us/WallP99Us are end-to-end HTTP latency percentiles from
+	// the server's lock-free histogram, ShedRate the fraction of requests
+	// shed with 429/503 under the row's offered load.
+	WallP50Us int64   `json:"wall_p50_us,omitempty"`
+	WallP99Us int64   `json:"wall_p99_us,omitempty"`
+	ShedRate  float64 `json:"shed_rate,omitempty"`
 }
 
 // withStats annotates a measurement with the cost-model outcome of one
@@ -186,7 +205,7 @@ func main() {
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 4, "shard count for the sharded benchmarks")
-	out := flag.String("out", "BENCH_6.json", "output path")
+	out := flag.String("out", "BENCH_7.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -210,7 +229,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:      3,
+		Schema:      4,
 		CreatedUnix: time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -461,6 +480,87 @@ func main() {
 		snap.Benchmarks[row.name] = zipfBench(row.sx, row.down)
 	}
 
+	// Serving rows (schema 4): the online layer measured end to end over
+	// HTTP loopback. The prober never starts (the handler is served
+	// directly), so a MarkShardDown drill stays down for the row; wall
+	// percentiles come from the server's own histogram, shed rate from
+	// its outcome counters.
+	servingRow := func(backend server.Backend, cfg server.Config, workers, perWorker, maxChunks int) measurement {
+		reg := server.NewRegistry()
+		if err := reg.Add("bench", backend); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: serving:", err)
+			os.Exit(1)
+		}
+		s := server.New(reg, cfg)
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		client := ts.Client()
+		defer client.CloseIdleConnections()
+
+		bodies := make([][]byte, len(queries))
+		for i, zq := range queries {
+			raw, err := json.Marshal(server.SearchRequest{Query: zq, K: *k, MaxChunks: maxChunks})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsnap: serving:", err)
+				os.Exit(1)
+			}
+			bodies[i] = raw
+		}
+		do := func(i int) {
+			resp, err := client.Post(ts.URL+"/v1/indexes/bench/search", "application/json",
+				bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsnap: serving request:", err)
+				os.Exit(1)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		// Warm the HTTP connection off the books: /healthz is not metered,
+		// so the measured counters cover exactly the workers' requests.
+		if resp, err := client.Get(ts.URL + "/healthz"); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					do(w*perWorker + i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		ms := s.Metrics().Snapshot(0, nil)
+		return measurement{
+			NsPerOp:         elapsed.Nanoseconds() / ms.Requests,
+			Iterations:      int(ms.Requests),
+			OpsPerSec:       float64(ms.Requests) / elapsed.Seconds(),
+			WallP50Us:       ms.WallP50Us,
+			WallP99Us:       ms.WallP99Us,
+			ShedRate:        float64(ms.ShedInFlight+ms.ShedTenant) / float64(ms.Requests),
+			DegradedQueries: int(ms.Degraded),
+		}
+	}
+
+	snap.Benchmarks["serving_search_seq_200q"] = servingRow(sharded, server.Config{}, 1, len(queries), 5)
+	snap.Benchmarks["serving_shed_2x_inflight4"] = servingRow(sharded,
+		server.Config{MaxInFlight: 4}, 8, 50, 5)
+	sharded.MarkShardDown(0)
+	snap.Benchmarks[fmt.Sprintf("serving_degraded_r1_1down_%dq", len(queries))] =
+		servingRow(sharded, server.Config{}, 1, len(queries), 0)
+	sharded.ResetHealth()
+	replicated.MarkShardDown(0)
+	snap.Benchmarks[fmt.Sprintf("serving_degraded_r2_1down_%dq", len(queries))] =
+		servingRow(replicated, server.Config{}, 1, len(queries), 0)
+	replicated.ResetHealth()
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap: marshal:", err)
@@ -499,6 +599,10 @@ func main() {
 			if m.DegradedQueries > 0 {
 				line += fmt.Sprintf("  (%d degraded, %.1f skipped/q)", m.DegradedQueries, m.SkippedPerQuery)
 			}
+		}
+		if m.WallP99Us > 0 {
+			line += fmt.Sprintf("  wall p50 %dµs p99 %dµs  shed %.2f  %d degraded",
+				m.WallP50Us, m.WallP99Us, m.ShedRate, m.DegradedQueries)
 		}
 		fmt.Println(line)
 	}

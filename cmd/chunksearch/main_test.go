@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunBadFlags pins the CLI's error paths: bad flags and unreadable
+// inputs must return an error (main turns that into exit 1 with a
+// one-line diagnostic) instead of limping on or panicking.
+func TestRunBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"zero queries", []string{"-queries", "0"}, "-queries 0 must be positive"},
+		{"negative k", []string{"-k", "-3"}, "-k -3 must be positive"},
+		{"negative chunks", []string{"-chunks", "-1"}, "must not be negative"},
+		{"negative time", []string{"-time", "-5ms"}, "must not be negative"},
+		{"conflicting stop rules", []string{"-chunks", "5", "-time", "10ms"}, "conflicting stop rules"},
+		{"unreadable collection", []string{"-coll", "/nonexistent/c.desc"}, "no such file"},
+		{"unreadable index", []string{"-coll", "/nonexistent/c.desc", "-index", "/nonexistent/idx"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard, io.Discard)
+			if err == nil {
+				t.Fatalf("run(%v) = nil, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %q, want substring %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

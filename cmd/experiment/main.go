@@ -13,7 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,12 +21,55 @@ import (
 	"repro/internal/experiments"
 )
 
+// knownExps lists every selectable experiment, in render order.
+var knownExps = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6",
+	"fig7", "buildtime", "lessons", "comparators", "ablations",
+}
+
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig2,fig3,fig4,fig5,table2,fig6,fig7,buildtime,comparators,lessons,ablations,all")
-	nFlag := flag.Int("n", 0, "collection size override (also REPRO_N)")
-	qFlag := flag.Int("queries", 0, "workload size override (also REPRO_QUERIES)")
-	quiet := flag.Bool("q", false, "suppress progress logging")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command behind a testable seam: a non-nil error exits
+// non-zero with a one-line diagnostic. Experiment names are validated
+// before the (expensive) lab is built, so a typo fails in milliseconds,
+// not after minutes of index building.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expFlag := fs.String("exp", "all", "comma-separated experiments: "+strings.Join(knownExps, ",")+",all")
+	nFlag := fs.Int("n", 0, "collection size override (also REPRO_N)")
+	qFlag := fs.Int("queries", 0, "workload size override (also REPRO_QUERIES)")
+	quiet := fs.Bool("q", false, "suppress progress logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nFlag < 0 || *qFlag < 0 {
+		return fmt.Errorf("-n %d and -queries %d must not be negative", *nFlag, *qFlag)
+	}
+
+	valid := map[string]bool{"all": true}
+	for _, name := range knownExps {
+		valid[name] = true
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		name := strings.TrimSpace(e)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return fmt.Errorf("unknown experiment %q (known: %s, all)", name, strings.Join(knownExps, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("no experiments selected: pass -exp with at least one of %s, all", strings.Join(knownExps, ", "))
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *nFlag > 0 {
@@ -36,13 +79,9 @@ func main() {
 		cfg.Queries = *qFlag
 	}
 	if !*quiet {
-		cfg.Log = os.Stderr
+		cfg.Log = stderr
 	}
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(e)] = true
-	}
 	all := want["all"]
 	need := func(names ...string) bool {
 		if all {
@@ -59,151 +98,64 @@ func main() {
 	start := time.Now()
 	lab, err := experiments.NewLab(cfg)
 	if err != nil {
-		log.Fatalf("experiment: %v", err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "lab ready in %v (n=%d, queries=%d)\n",
+	fmt.Fprintf(stderr, "lab ready in %v (n=%d, queries=%d)\n",
 		time.Since(start).Round(time.Second), cfg.N, cfg.Queries)
 
-	out := os.Stdout
-	section := func(f func() error) {
-		if err := f(); err != nil {
-			log.Fatalf("experiment: %v", err)
+	out := stdout
+	// render accepts any experiment's (result, error) pair directly —
+	// f(g()) passthrough — and renders a blank-line-terminated section.
+	render := func(r renderer, err error) error {
+		if err != nil {
+			return err
 		}
+		r.Render(out)
 		fmt.Fprintln(out)
+		return nil
 	}
 
-	if need("table1") {
-		section(func() error { experiments.Table1(lab).Render(out); return nil })
+	type exp struct {
+		name string
+		f    func() error
 	}
-	if need("fig1") {
-		section(func() error { experiments.Figure1(lab, 30).Render(out); return nil })
-	}
-	if need("fig2") {
-		section(func() error {
-			r, err := experiments.Figure23(lab, "DQ")
-			if err != nil {
+	sections := []exp{
+		{"table1", func() error { return render(experiments.Table1(lab), nil) }},
+		{"fig1", func() error { return render(experiments.Figure1(lab, 30), nil) }},
+		{"fig2", func() error { return render(experiments.Figure23(lab, "DQ")) }},
+		{"fig3", func() error { return render(experiments.Figure23(lab, "SQ")) }},
+		{"fig4", func() error { return render(experiments.Figure45(lab, "DQ")) }},
+		{"fig5", func() error { return render(experiments.Figure45(lab, "SQ")) }},
+		{"table2", func() error { return render(experiments.Table2(lab)) }},
+		{"fig6", func() error { return render(experiments.Figure67(lab, "DQ", nil, nil)) }},
+		{"fig7", func() error { return render(experiments.Figure67(lab, "SQ", nil, nil)) }},
+		{"buildtime", func() error { return render(experiments.BuildTime(lab), nil) }},
+		{"lessons", func() error { return render(experiments.Lessons(lab)) }},
+		{"comparators", func() error { return render(experiments.Comparators(lab)) }},
+		{"ablations", func() error {
+			if err := render(experiments.AblationOverlap(lab)); err != nil {
 				return err
 			}
-			r.Render(out)
-			return nil
-		})
+			if err := render(experiments.AblationStrategies(lab)); err != nil {
+				return err
+			}
+			if err := render(experiments.AblationNaiveBag(lab, 4000)); err != nil {
+				return err
+			}
+			return render(experiments.AblationNormOutlier(lab))
+		}},
 	}
-	if need("fig3") {
-		section(func() error {
-			r, err := experiments.Figure23(lab, "SQ")
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
+	for _, s := range sections {
+		if !need(s.name) {
+			continue
+		}
+		if err := s.f(); err != nil {
+			return err
+		}
 	}
-	if need("fig4") {
-		section(func() error {
-			r, err := experiments.Figure45(lab, "DQ")
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("fig5") {
-		section(func() error {
-			r, err := experiments.Figure45(lab, "SQ")
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("table2") {
-		section(func() error {
-			r, err := experiments.Table2(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("fig6") {
-		section(func() error {
-			r, err := experiments.Figure67(lab, "DQ", nil, nil)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("fig7") {
-		section(func() error {
-			r, err := experiments.Figure67(lab, "SQ", nil, nil)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("buildtime") {
-		section(func() error { experiments.BuildTime(lab).Render(out); return nil })
-	}
-	if need("lessons") {
-		section(func() error {
-			r, err := experiments.Lessons(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("comparators") {
-		section(func() error {
-			r, err := experiments.Comparators(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	if need("ablations") {
-		section(func() error {
-			r, err := experiments.AblationOverlap(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-		section(func() error {
-			r, err := experiments.AblationStrategies(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-		section(func() error {
-			r, err := experiments.AblationNaiveBag(lab, 4000)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-		section(func() error {
-			r, err := experiments.AblationNormOutlier(lab)
-			if err != nil {
-				return err
-			}
-			r.Render(out)
-			return nil
-		})
-	}
-	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(stderr, "done in %v\n", time.Since(start).Round(time.Second))
+	return nil
 }
+
+// renderer is the common Render surface of the experiment results.
+type renderer interface{ Render(w io.Writer) }

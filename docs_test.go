@@ -142,4 +142,5 @@ func TestDocsGodocCoverage(t *testing.T) {
 	}
 	check("package repro", exportedDecls(parseDir(t, "."), facade))
 	check("internal/shard", exportedDecls(parseDir(t, filepath.Join("internal", "shard")), nil))
+	check("internal/server", exportedDecls(parseDir(t, filepath.Join("internal", "server")), nil))
 }

@@ -18,6 +18,7 @@
 package multiquery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -46,6 +47,9 @@ type Options struct {
 	MinVotes float64
 	// Overlap selects the overlapped pipeline in the simulated timing.
 	Overlap bool
+	// Ctx, when non-nil, cancels the bag's batch between chunk charges —
+	// the same deadline-propagation contract as batchexec.Options.Ctx.
+	Ctx context.Context
 }
 
 // ImageScore is one ranked image in the result.
@@ -120,6 +124,7 @@ func (s *Searcher) Query(descriptors []vec.Vector, opts Options) (*Result, error
 		K:       opts.K,
 		Stop:    opts.Stop,
 		Overlap: opts.Overlap,
+		Ctx:     opts.Ctx,
 	}, results)
 	if err != nil {
 		var qe *batchexec.QueryError

@@ -40,6 +40,7 @@
 package batchexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -88,6 +89,12 @@ type Options struct {
 	// trailing machines that hold no chunks but still pay their (empty)
 	// index read toward the max. Ignored when Shards is nil.
 	NumShards int
+	// Ctx, when non-nil, is consulted between rounds: once it is cancelled
+	// or past its deadline the run aborts — every live query stops within
+	// one chunk charge of the cancellation — and Run returns an error
+	// wrapping ctx.Err(). On abort no results are valid, exactly as on any
+	// other batch error. A nil Ctx never stops the run.
+	Ctx context.Context
 }
 
 // QueryError reports which query of a batch failed.
@@ -338,6 +345,13 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 	// the round by chunk so every distinct chunk is read and decoded once
 	// and scanned against all of its queries while hot.
 	for len(a.live) > 0 {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				qi := int(a.live[0])
+				a.release()
+				return &QueryError{Query: qi, Err: fmt.Errorf("canceled mid-batch: %w", err)}
+			}
+		}
 		a.pairs = a.pairs[:0]
 		for _, si := range a.live {
 			st := &a.states[si]

@@ -34,6 +34,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -104,6 +105,21 @@ type Options struct {
 	Overlap bool           // overlap I/O with CPU in the simulated pipeline
 	// Trace, if non-nil, receives one event per processed chunk.
 	Trace func(Event)
+	// Ctx, when non-nil, is consulted between chunk charges: once it is
+	// cancelled or past its deadline the search stops immediately — no
+	// further chunk is read or billed — and returns an error wrapping
+	// ctx.Err(). This is the serving layer's deadline-propagation hook: an
+	// abandoned request stops consuming budget within one chunk of the
+	// cancellation. A nil Ctx never stops the search.
+	Ctx context.Context
+}
+
+// ctxErr returns the context's error, nil when ctx is nil or still live.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Event reports the search state right after one chunk was processed.
@@ -271,6 +287,9 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 	heap.Reset(opts.K)
 
 	for pos := range ranked {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return fmt.Errorf("search: canceled after %d chunks: %w", res.ChunksRead, err)
+		}
 		rc := &ranked[pos]
 		m := &metas[rc.Idx]
 		if err := s.store.ReadChunk(rc.Idx, &sc.data); err != nil {

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterBounds(t *testing.T) {
+	l := NewLimiter(2)
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("first two acquires should succeed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("third acquire should be refused at capacity 2")
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("acquire after release should succeed")
+	}
+	l.Release()
+	l.Release()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after releases = %d, want 0", got)
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	l := NewLimiter(0)
+	for i := 0; i < 100; i++ {
+		if !l.TryAcquire() {
+			t.Fatalf("unlimited limiter refused acquire %d", i)
+		}
+	}
+	l.Release() // must not panic or block
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("unlimited InFlight = %d, want 0", got)
+	}
+}
+
+// fakeClock is a manually advanced clock for bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func bucketsAt(rate, burst float64) (*TenantBuckets, *fakeClock) {
+	c := newFakeClock()
+	return NewTenantBuckets(rate, burst, c.now), c
+}
+
+func TestTenantBucketsTakeAndRefill(t *testing.T) {
+	tb, clock := bucketsAt(10, 20)
+	if ok, _ := tb.Take("a", 20); !ok {
+		t.Fatal("fresh bucket should cover its full burst")
+	}
+	ok, retry := tb.Take("a", 5)
+	if ok {
+		t.Fatal("empty bucket should refuse")
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retryAfter = %v, want %v (5 chunks at 10/s)", retry, want)
+	}
+	// Tenants are independent.
+	if ok, _ := tb.Take("b", 20); !ok {
+		t.Fatal("tenant b should have its own full bucket")
+	}
+	clock.advance(time.Second)
+	if ok, _ := tb.Take("a", 10); !ok {
+		t.Fatal("1s at 10/s should refill 10 chunks")
+	}
+	if ok, _ := tb.Take("a", 1); ok {
+		t.Fatal("the refill should be spent again")
+	}
+}
+
+func TestTenantBucketsUnlimited(t *testing.T) {
+	tb, _ := bucketsAt(0, 0)
+	if ok, retry := tb.Take("a", 1_000_000); !ok || retry != 0 {
+		t.Fatal("rate 0 must admit everything")
+	}
+	if got := tb.TakeUpTo("a", 123); got != 123 {
+		t.Fatalf("TakeUpTo under rate 0 = %d, want 123", got)
+	}
+}
+
+func TestTenantBucketsTakeUpTo(t *testing.T) {
+	tb, _ := bucketsAt(10, 15)
+	if got := tb.TakeUpTo("a", 40); got != 15 {
+		t.Fatalf("TakeUpTo(40) on a 15-token bucket = %d, want 15", got)
+	}
+	if got := tb.TakeUpTo("a", 5); got != 0 {
+		t.Fatalf("TakeUpTo on an empty bucket = %d, want 0", got)
+	}
+}
+
+func TestTenantBucketsRefundCapsAtBurst(t *testing.T) {
+	tb, _ := bucketsAt(10, 10)
+	if ok, _ := tb.Take("a", 6); !ok {
+		t.Fatal("take 6 of 10")
+	}
+	tb.Refund("a", 1000)
+	if ok, _ := tb.Take("a", 10); !ok {
+		t.Fatal("refund should restore the bucket")
+	}
+	if ok, _ := tb.Take("a", 1); ok {
+		t.Fatal("refund must cap at burst, not bank 1000 chunks")
+	}
+}
+
+func TestTenantBucketsChargeDebt(t *testing.T) {
+	tb, clock := bucketsAt(10, 10)
+	tb.Charge("a", 30) // 10 - 30 = -20: tenant owes 2s of refill
+	if ok, _ := tb.Take("a", 1); ok {
+		t.Fatal("indebted tenant must be refused")
+	}
+	if retry := tb.RetryAfter("a", 1); retry != 2100*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 2.1s (21 chunks at 10/s)", retry)
+	}
+	clock.advance(2 * time.Second)
+	if ok, _ := tb.Take("a", 1); ok {
+		t.Fatal("debt exactly repaid: 1 more chunk is still short")
+	}
+	clock.advance(200 * time.Millisecond)
+	if ok, _ := tb.Take("a", 1); !ok {
+		t.Fatal("debt repaid plus one chunk refilled")
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro"
+	"repro/internal/chunkfile"
+	"repro/internal/faultstore"
+	"repro/internal/imagegen"
+	"repro/internal/multiquery"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/shard"
+	"repro/internal/srtree"
+)
+
+// faultSeed returns the deterministic fault seed for this run: the
+// REPRO_FAULT_SEED environment variable when set (CI pins it), a fixed
+// default otherwise.
+func faultSeed(t testing.TB) int64 {
+	t.Helper()
+	if v := os.Getenv("REPRO_FAULT_SEED"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("REPRO_FAULT_SEED=%q: %v", v, err)
+		}
+		return seed
+	}
+	return 2005
+}
+
+// routerBackend adapts a shard.Router to the server's Backend and
+// ShardHealth interfaces. The public ShardedIndex facade cannot inject
+// fault wrappers around its stores, so the acceptance tests build the
+// router directly over faultstore-wrapped stores and serve it through
+// this adapter — the same search semantics, with Kill/Revive handles.
+type routerBackend struct {
+	r *shard.Router
+}
+
+var (
+	_ Backend     = (*routerBackend)(nil)
+	_ ShardHealth = (*routerBackend)(nil)
+)
+
+func stopOf(opts repro.SearchOptions) search.StopRule {
+	if opts.MaxChunks > 0 {
+		return search.ChunkBudget(opts.MaxChunks)
+	}
+	if opts.MaxTime > 0 {
+		return search.TimeBudget(opts.MaxTime)
+	}
+	return search.ToCompletion{}
+}
+
+func (b *routerBackend) Search(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+	sopts := search.Options{K: opts.K, Stop: stopOf(opts), Overlap: opts.Overlap, Ctx: opts.Ctx}
+	var sr shard.Result
+	var err error
+	if opts.GlobalBudget {
+		err = b.r.SearchGlobalInto(q, sopts, &sr)
+	} else {
+		err = b.r.SearchInto(q, sopts, &sr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &repro.Result{
+		Neighbors:     sr.Neighbors,
+		ChunksRead:    sr.ChunksRead,
+		Simulated:     sr.Elapsed,
+		Wall:          sr.Wall,
+		Exact:         sr.Exact,
+		Degraded:      sr.Degraded,
+		ChunksSkipped: sr.ChunksSkipped,
+		ShardsDown:    sr.ShardsDown,
+	}, nil
+}
+
+func (b *routerBackend) SearchBatchInto(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result) error {
+	srs := make([]search.Result, len(queries))
+	err := b.r.RunBatch(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopOf(opts.SearchOptions),
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
+	}, srs)
+	if err != nil {
+		return err
+	}
+	down := b.r.DownShards()
+	for i := range srs {
+		results[i] = repro.Result{
+			Neighbors:     srs[i].Neighbors,
+			ChunksRead:    srs[i].ChunksRead,
+			Simulated:     srs[i].Elapsed,
+			Wall:          srs[i].Wall,
+			Exact:         srs[i].Exact,
+			Degraded:      srs[i].Degraded,
+			ChunksSkipped: srs[i].ChunksSkipped,
+			ShardsDown:    down,
+		}
+	}
+	return nil
+}
+
+func (b *routerBackend) MultiSearch(descriptors []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error) {
+	maxChunks := opts.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 3
+	}
+	mq := b.r.MultiQuery
+	if opts.GlobalBudget {
+		mq = b.r.MultiQueryGlobal
+	}
+	return mq(descriptors, multiquery.Options{
+		K:            opts.K,
+		Stop:         search.ChunkBudget(maxChunks),
+		RankWeighted: opts.RankWeighted,
+		Overlap:      opts.Overlap,
+		Ctx:          opts.Ctx,
+	})
+}
+
+func (b *routerBackend) Chunks() int            { return b.r.Chunks() }
+func (b *routerBackend) Len() int               { return b.r.Descriptors() }
+func (b *routerBackend) Close() error           { return b.r.Close() }
+func (b *routerBackend) Shards() int            { return b.r.Shards() }
+func (b *routerBackend) ShardDown(s int) bool   { return b.r.ShardDown(s) }
+func (b *routerBackend) ShardsDown() int        { return b.r.DownShards() }
+func (b *routerBackend) MarkShardDown(s int)    { b.r.MarkShardDown(s) }
+func (b *routerBackend) MarkShardUp(s int)      { b.r.MarkShardUp(s) }
+func (b *routerBackend) ProbeShard(s int) error { return b.r.ProbeShard(s) }
+
+// faultedRouter builds a replicated router over faultstore-wrapped
+// in-memory shard stores: the serving stack the acceptance tests point
+// the HTTP layer at. Returns the adapter, the per-shard fault handles,
+// and the source collection for queries.
+func faultedRouter(t testing.TB, n int, seed int64, shards, replication int, cfg faultstore.Config) (*routerBackend, []*faultstore.Store, *repro.Collection) {
+	t.Helper()
+	const chunkSize, pageSize = 130, 4096
+	ds := imagegen.MustGenerate(imagegen.DefaultConfig(n, seed))
+	coll := ds.Collection
+	tree, err := srtree.Build(coll, nil, chunkSize, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := tree.Chunks()
+	p, err := shard.PartitionReplicated(clusters, shards, replication, coll.Dims(), pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]chunkfile.Store, shards)
+	faults := make([]*faultstore.Store, shards)
+	for s := 0; s < shards; s++ {
+		physical := append(append([]int(nil), p.Primary[s]...), p.Extra[s]...)
+		faults[s] = faultstore.Wrap(chunkfile.NewMemStore(coll, shard.Select(clusters, physical), pageSize), cfg)
+		stores[s] = faults[s]
+	}
+	r, err := shard.NewReplicatedRouter(stores, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &routerBackend{r: r}, faults, coll
+}

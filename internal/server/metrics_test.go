@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	// 90 fast samples, 10 slow ones: p50 lands in the fast bucket, p99
+	// in the slow one.
+	for i := 0; i < 90; i++ {
+		h.record(80 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.record(40 * time.Millisecond)
+	}
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 < 80*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Fatalf("p50 = %v, want the ~100µs bucket", p50)
+	}
+	if p99 < 40*time.Millisecond || p99 > 120*time.Millisecond {
+		t.Fatalf("p99 = %v, want the ~50ms bucket", p99)
+	}
+	if got := h.quantile(0.0); got > p50 {
+		t.Fatalf("p0 = %v should not exceed p50 = %v", got, p50)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h histogram
+	if got := h.quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h histogram
+	h.record(time.Hour)
+	if got := h.quantile(0.5); got <= 0 {
+		t.Fatalf("overflow sample quantile = %v, want positive", got)
+	}
+}
+
+func TestMetricsRecordClasses(t *testing.T) {
+	m := NewMetrics()
+	m.Record(OutcomeOK, time.Millisecond, 7, false)
+	m.Record(OutcomeOK, time.Millisecond, 3, true)
+	m.Record(OutcomeClientError, time.Millisecond, 0, false)
+	m.Record(OutcomeShedInFlight, 0, 0, false)
+	m.Record(OutcomeShedTenant, 0, 0, false)
+	m.Record(OutcomeDeadlineMiss, time.Millisecond, 0, false)
+	m.Record(OutcomeServerError, time.Millisecond, 0, false)
+	m.RecordBestEffort()
+
+	snap := m.Snapshot(3, nil)
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Requests", snap.Requests, 7},
+		{"OK", snap.OK, 2},
+		{"ClientErrors", snap.ClientErrors, 1},
+		{"ShedInFlight", snap.ShedInFlight, 1},
+		{"ShedTenant", snap.ShedTenant, 1},
+		{"DeadlineMiss", snap.DeadlineMiss, 1},
+		{"ServerErrors", snap.ServerErrors, 1},
+		{"Degraded", snap.Degraded, 1},
+		{"ChunksCharged", snap.ChunksCharged, 10},
+		{"BestEffort", snap.BestEffort, 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if snap.InFlight != 3 {
+		t.Errorf("InFlight = %d, want 3", snap.InFlight)
+	}
+	if snap.QPS <= 0 {
+		t.Errorf("QPS = %v, want positive right after recording", snap.QPS)
+	}
+	if snap.WallP50Us <= 0 {
+		t.Errorf("WallP50Us = %d, want positive", snap.WallP50Us)
+	}
+}

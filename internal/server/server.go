@@ -1,0 +1,772 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Request headers the server honors.
+const (
+	// HeaderDeadlineMs carries the client's per-request deadline in
+	// milliseconds; absent, Config.DefaultDeadline applies.
+	HeaderDeadlineMs = "X-Deadline-Ms"
+	// HeaderTenant names the tenant whose token bucket pays for the
+	// request; absent, DefaultTenant pays.
+	HeaderTenant = "X-Tenant"
+)
+
+// DefaultTenant is the bucket charged when a request carries no
+// X-Tenant header.
+const DefaultTenant = "default"
+
+// maxBodyBytes bounds a request body (a 10k-descriptor batch of
+// 24-float vectors is ~2.4MB of JSON numbers; 16MB leaves headroom
+// without letting one request balloon the heap).
+const maxBodyBytes = 16 << 20
+
+// Config tunes the server's robustness envelope. The zero value serves:
+// no default deadline, no in-flight cap, no tenant limiting.
+type Config struct {
+	// DefaultDeadline applies to requests without an X-Deadline-Ms
+	// header (0 = none). The deadline is enforced twice: as a real
+	// context cancelling the search between chunk charges, and — for
+	// requests that set no explicit stop rule — as the simulated
+	// MaxTime budget, so the 2005 cost model self-limits to the same
+	// horizon the wall clock does.
+	DefaultDeadline time.Duration
+	// MaxInFlight caps concurrently executing requests; excess requests
+	// are shed with 503 immediately instead of queueing (0 = unlimited).
+	MaxInFlight int
+	// TenantRate is each tenant's sustained budget in chunks/second
+	// (0 = unlimited); TenantBurst is the bucket capacity (raised to
+	// TenantRate when smaller).
+	TenantRate  float64
+	TenantBurst float64
+	// BestEffort admits a chunk-budget request whose tenant bucket
+	// cannot cover its full budget by shrinking MaxChunks to what the
+	// bucket holds, instead of shedding with 429. Time-budget and
+	// run-to-completion requests are never shrunk — their cost is not
+	// denominated in chunks up front — so they still shed.
+	BestEffort bool
+	// DefaultMaxChunks is the admission cost estimate per query for
+	// requests that set no chunk budget (0 = 16). It is an estimate,
+	// not a cap: actual spend is settled against the bucket afterwards.
+	DefaultMaxChunks int
+	// ProbeInterval is the background prober's period (0 = 250ms).
+	ProbeInterval time.Duration
+	// Clock overrides time.Now for the tenant buckets (tests).
+	Clock func() time.Time
+}
+
+// Server is the HTTP serving layer: a registry of named indexes behind
+// admission control, deadline propagation, metrics, and a shard-health
+// prober. Build one with New, expose Handler (or Serve), and retire it
+// with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	limiter  *Limiter
+	buckets  *TenantBuckets
+	metrics  *Metrics
+	prober   *Prober
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	http *http.Server
+}
+
+// New assembles a server over reg. Background work (the prober) starts
+// with Start or Serve, not here, so a server that is only constructed
+// owns no goroutines.
+func New(reg *Registry, cfg Config) *Server {
+	if cfg.DefaultMaxChunks <= 0 {
+		cfg.DefaultMaxChunks = 16
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		limiter: NewLimiter(cfg.MaxInFlight),
+		buckets: NewTenantBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Clock),
+		metrics: NewMetrics(),
+		prober:  NewProber(reg, cfg.ProbeInterval),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	mux.HandleFunc("POST /v1/indexes/{index}/search", s.admitted(s.handleSearch))
+	mux.HandleFunc("POST /v1/indexes/{index}/batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("POST /v1/indexes/{index}/multi", s.admitted(s.handleMulti))
+	s.mux = mux
+	return s
+}
+
+// Metrics exposes the server's counters for in-process embedding
+// (benchmarks, tests); HTTP clients scrape GET /metrics instead.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the server's HTTP handler, for mounting under
+// httptest or a caller-owned http.Server. Panic containment and
+// admission are already wired in.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the background prober. Serve calls it; tests that
+// mount Handler directly call it themselves (or drive Prober().Sweep()).
+// Idempotent.
+func (s *Server) Start() { s.prober.Start() }
+
+// Prober returns the server's shard-health prober.
+func (s *Server) Prober() *Prober { return s.prober }
+
+// Serve starts the prober and serves HTTP on l until Shutdown. A clean
+// shutdown returns nil, not http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.Start()
+	hs := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.http = hs
+	s.mu.Unlock()
+	if err := hs.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains and retires the server: the readiness gate flips (new
+// requests shed with 503), the prober goroutine is stopped and joined,
+// in-flight requests run to completion (bounded by ctx), and every
+// registered index is closed. After Shutdown returns, the server owns
+// no goroutines.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.prober.Stop()
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	if cerr := s.reg.CloseAll(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- wire types ----
+
+// WireNeighbor is one neighbor on the wire.
+type WireNeighbor struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// SearchRequest is the body of POST /v1/indexes/{index}/search.
+type SearchRequest struct {
+	// Query is the descriptor, exactly repro.Dims values.
+	Query []float32 `json:"query"`
+	// K is the neighbor count (0 = 30).
+	K int `json:"k,omitempty"`
+	// MaxChunks is the chunk-budget stop rule (0 = none).
+	MaxChunks int `json:"max_chunks,omitempty"`
+	// MaxTimeUs is the simulated time-budget stop rule in microseconds
+	// (0 = none). At most one of MaxChunks/MaxTimeUs may be set.
+	MaxTimeUs int64 `json:"max_time_us,omitempty"`
+	// Overlap selects the overlapped simulated pipeline.
+	Overlap bool `json:"overlap,omitempty"`
+	// GlobalBudget selects the global budget discipline on sharded
+	// indexes.
+	GlobalBudget bool `json:"global_budget,omitempty"`
+}
+
+// SearchResponse is one search outcome on the wire. Degradation is
+// always explicit: Degraded, ChunksSkipped, and ShardsDown ship on
+// every response so a client can tell a complete answer from a partial
+// one without a side channel.
+type SearchResponse struct {
+	Neighbors  []WireNeighbor `json:"neighbors"`
+	ChunksRead int            `json:"chunks_read"`
+	// ChunksGranted reports the shrunk per-query budget when best-effort
+	// admission reduced it (0 = the request ran at its asked budget).
+	ChunksGranted int   `json:"chunks_granted,omitempty"`
+	SimulatedUs   int64 `json:"simulated_us"`
+	WallUs        int64 `json:"wall_us"`
+	Exact         bool  `json:"exact"`
+	Degraded      bool  `json:"degraded"`
+	ChunksSkipped int   `json:"chunks_skipped"`
+	ShardsDown    int   `json:"shards_down"`
+}
+
+// BatchRequest is the body of POST /v1/indexes/{index}/batch.
+type BatchRequest struct {
+	// Queries are the descriptors, each exactly repro.Dims values.
+	Queries [][]float32 `json:"queries"`
+	// K, MaxChunks, MaxTimeUs, Overlap, GlobalBudget are per-query, as
+	// in SearchRequest.
+	K            int   `json:"k,omitempty"`
+	MaxChunks    int   `json:"max_chunks,omitempty"`
+	MaxTimeUs    int64 `json:"max_time_us,omitempty"`
+	Overlap      bool  `json:"overlap,omitempty"`
+	GlobalBudget bool  `json:"global_budget,omitempty"`
+	// Parallelism caps the batch engine's concurrency (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// BatchResponse is the body of a batch's 200: per-query outcomes in
+// request order plus the batch-level totals the admission layer billed.
+type BatchResponse struct {
+	Results []SearchResponse `json:"results"`
+	// ChunksRead is the total across queries; Degraded reports any
+	// per-query degradation.
+	ChunksRead int  `json:"chunks_read"`
+	Degraded   bool `json:"degraded"`
+	// ChunksGranted reports the shrunk per-query budget under
+	// best-effort admission (0 = full asked budget).
+	ChunksGranted int `json:"chunks_granted,omitempty"`
+}
+
+// MultiRequest is the body of POST /v1/indexes/{index}/multi: one image
+// as a bag of descriptors, answered with ranked source images.
+type MultiRequest struct {
+	// Descriptors is the query image's bag, each exactly repro.Dims
+	// values.
+	Descriptors [][]float32 `json:"descriptors"`
+	// K is the per-descriptor neighbor count (0 = 10).
+	K int `json:"k,omitempty"`
+	// MaxChunks is the per-descriptor chunk budget (0 = 3).
+	MaxChunks int `json:"max_chunks,omitempty"`
+	// RankWeighted scores votes 1/(1+rank).
+	RankWeighted bool `json:"rank_weighted,omitempty"`
+	// Overlap selects the overlapped simulated pipeline.
+	Overlap bool `json:"overlap,omitempty"`
+	// GlobalBudget selects the global budget discipline on sharded
+	// indexes.
+	GlobalBudget bool `json:"global_budget,omitempty"`
+}
+
+// WireImage is one ranked image on the wire.
+type WireImage struct {
+	Image   uint32  `json:"image"`
+	Score   float64 `json:"score"`
+	Matches int     `json:"matches"`
+}
+
+// MultiResponse is the body of a multi-search 200.
+type MultiResponse struct {
+	Images        []WireImage `json:"images"`
+	Descriptors   int         `json:"descriptors"`
+	ChunksRead    int         `json:"chunks_read"`
+	ChunksGranted int         `json:"chunks_granted,omitempty"`
+	SimulatedUs   int64       `json:"simulated_us"`
+	Degraded      bool        `json:"degraded"`
+	ChunksSkipped int         `json:"chunks_skipped"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- middleware ----
+
+// result is what a handler reports back to the admission wrapper for
+// metrics: the outcome class plus the 200-path details.
+type result struct {
+	outcome    Outcome
+	chunksRead int
+	degraded   bool
+}
+
+// admitted wraps a request handler with the server's protective shell,
+// outermost first: panic containment (a panicking handler answers 500
+// and the server keeps serving), the draining gate, and the in-flight
+// limiter. Inside the shell the handler runs, and its reported result
+// is recorded with the request's wall latency.
+func (s *Server) admitted(h func(http.ResponseWriter, *http.Request) result) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.metrics.Record(OutcomeShedInFlight, 0, 0, false)
+			writeError(w, http.StatusServiceUnavailable, "server is draining", 1)
+			return
+		}
+		if !s.limiter.TryAcquire() {
+			s.metrics.Record(OutcomeShedInFlight, 0, 0, false)
+			writeError(w, http.StatusServiceUnavailable, "server at capacity", 1)
+			return
+		}
+		defer s.limiter.Release()
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				// The handler may have written nothing yet; answer 500 on a
+				// best-effort basis (WriteHeader after a write is a no-op).
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", p), 0)
+				s.metrics.Record(OutcomeServerError, time.Since(start), 0, false)
+			}
+		}()
+		res := h(w, r)
+		s.metrics.Record(res.outcome, time.Since(start), res.chunksRead, res.degraded)
+	}
+}
+
+// writeError answers an ErrorResponse; retryAfterSec > 0 adds the
+// Retry-After header 429/503 clients key their backoff on.
+func writeError(w http.ResponseWriter, status int, msg string, retryAfterSec int) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// writeJSON answers a 200 with v as JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds rounds d up to whole seconds, minimum 1: the
+// coarse, honest form Retry-After wants.
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// ---- admission plumbing shared by the search handlers ----
+
+// request deadlines: header over default, then a real context.
+
+// requestDeadline resolves the request's deadline and returns a context
+// honoring it. A malformed header is a client error.
+func (s *Server) requestDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if h := r.Header.Get(HeaderDeadlineMs); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid %s header %q: want a positive integer", HeaderDeadlineMs, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// tenantOf resolves the paying tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(HeaderTenant); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
+// grant is an admission decision from admitChunks.
+type grant struct {
+	tenant string
+	// charged is what the bucket was debited up front; settle squares it
+	// with actual spend.
+	charged int
+	// perQuery is the effective per-query chunk budget, possibly shrunk
+	// under best-effort admission (shrunk reports that).
+	perQuery int
+	shrunk   bool
+}
+
+// settle squares the up-front charge with the actual chunks read:
+// refunds the unspent remainder or charges the overrun as tenant debt.
+func (g *grant) settle(buckets *TenantBuckets, actual int) {
+	switch diff := g.charged - actual; {
+	case diff > 0:
+		buckets.Refund(g.tenant, diff)
+	case diff < 0:
+		buckets.Charge(g.tenant, -diff)
+	}
+}
+
+// admitChunks runs tenant admission for a request of n queries, each
+// with per-query budget maxChunks (0 = none declared), where timed
+// reports an explicit simulated time budget. On refusal it writes the
+// 429 and returns ok=false.
+func (s *Server) admitChunks(w http.ResponseWriter, r *http.Request, n, maxChunks int, timed bool) (grant, bool) {
+	g := grant{tenant: tenantOf(r), perQuery: maxChunks}
+	per := maxChunks
+	if per <= 0 {
+		per = s.cfg.DefaultMaxChunks
+	}
+	estimate := per * n
+	if ok, retry := s.buckets.Take(g.tenant, estimate); !ok {
+		// Best-effort shrink applies only to chunk-budget requests: their
+		// cost is denominated in chunks up front. Timed and
+		// run-to-completion requests shed.
+		if s.cfg.BestEffort && maxChunks > 0 && !timed {
+			if granted := s.buckets.TakeUpTo(g.tenant, estimate); granted >= n {
+				g.charged = granted
+				g.perQuery = granted / n
+				g.shrunk = true
+				s.metrics.RecordBestEffort()
+				return g, true
+			} else if granted > 0 {
+				// Not even one chunk per query: refund and shed.
+				s.buckets.Refund(g.tenant, granted)
+			}
+			retry = s.buckets.RetryAfter(g.tenant, n)
+		}
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over budget: %d chunks requested", g.tenant, estimate),
+			retryAfterSeconds(retry))
+		return g, false
+	}
+	g.charged = estimate
+	return g, true
+}
+
+// searchFailure maps a facade search error onto the wire: an expired or
+// cancelled deadline is 503 with Retry-After (the request was admitted
+// but its time ran out — the honest signal for the client to back off
+// and retry with a looser deadline), anything else is 500.
+func searchFailure(w http.ResponseWriter, err error) result {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("deadline exceeded: %v", err), 1)
+		return result{outcome: OutcomeDeadlineMiss}
+	}
+	writeError(w, http.StatusInternalServerError, err.Error(), 0)
+	return result{outcome: OutcomeServerError}
+}
+
+// decodeBody decodes the JSON body into v with a size cap and strict
+// fields, so typos in option names are diagnosed instead of silently
+// ignored.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// checkVector validates one wire vector's dimensionality.
+func checkVector(name string, i int, v []float32) error {
+	if len(v) != repro.Dims {
+		return fmt.Errorf("%s[%d] has %d dims, want %d", name, i, len(v), repro.Dims)
+	}
+	return nil
+}
+
+// checkStopRules rejects out-of-range or contradictory wire options
+// before any tokens are charged — the same rules the facade enforces,
+// applied early so a bad request never costs admission work.
+func checkStopRules(k, maxChunks int, maxTimeUs int64) error {
+	if k < 0 {
+		return fmt.Errorf("k %d is negative", k)
+	}
+	if maxChunks < 0 {
+		return fmt.Errorf("max_chunks %d is negative", maxChunks)
+	}
+	if maxTimeUs < 0 {
+		return fmt.Errorf("max_time_us %d is negative", maxTimeUs)
+	}
+	if maxChunks > 0 && maxTimeUs > 0 {
+		return fmt.Errorf("max_chunks %d and max_time_us %d are conflicting stop rules; set at most one", maxChunks, maxTimeUs)
+	}
+	return nil
+}
+
+// ---- handlers ----
+
+func (s *Server) lookupIndex(w http.ResponseWriter, r *http.Request) (Backend, bool) {
+	name := r.PathValue("index")
+	b, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown index %q", name), 0)
+	}
+	return b, ok
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) result {
+	b, ok := s.lookupIndex(w, r)
+	if !ok {
+		return result{outcome: OutcomeClientError}
+	}
+	var req SearchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if err := checkStopRules(req.K, req.MaxChunks, req.MaxTimeUs); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if err := checkVector("query", 0, req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	ctx, cancel, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	defer cancel()
+	g, ok := s.admitChunks(w, r, 1, req.MaxChunks, req.MaxTimeUs > 0)
+	if !ok {
+		return result{outcome: OutcomeShedTenant}
+	}
+	opts := repro.SearchOptions{
+		K:            req.K,
+		MaxChunks:    g.perQuery,
+		MaxTime:      time.Duration(req.MaxTimeUs) * time.Microsecond,
+		Overlap:      req.Overlap,
+		GlobalBudget: req.GlobalBudget,
+		Ctx:          ctx,
+	}
+	applyDeadlineBudget(&opts, ctx)
+	res, err := b.Search(repro.Vector(req.Query), opts)
+	if err != nil {
+		g.settle(s.buckets, 0)
+		return searchFailure(w, err)
+	}
+	g.settle(s.buckets, res.ChunksRead)
+	resp := searchResponse(res)
+	if g.shrunk {
+		resp.ChunksGranted = g.perQuery
+	}
+	writeJSON(w, resp)
+	return result{outcome: OutcomeOK, chunksRead: res.ChunksRead, degraded: res.Degraded}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) result {
+	b, ok := s.lookupIndex(w, r)
+	if !ok {
+		return result{outcome: OutcomeClientError}
+	}
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if err := checkStopRules(req.K, req.MaxChunks, req.MaxTimeUs); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "queries must be non-empty", 0)
+		return result{outcome: OutcomeClientError}
+	}
+	queries := make([]repro.Vector, len(req.Queries))
+	for i, q := range req.Queries {
+		if err := checkVector("queries", i, q); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), 0)
+			return result{outcome: OutcomeClientError}
+		}
+		queries[i] = repro.Vector(q)
+	}
+	ctx, cancel, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	defer cancel()
+	g, ok := s.admitChunks(w, r, len(queries), req.MaxChunks, req.MaxTimeUs > 0)
+	if !ok {
+		return result{outcome: OutcomeShedTenant}
+	}
+	opts := repro.BatchOptions{
+		SearchOptions: repro.SearchOptions{
+			K:            req.K,
+			MaxChunks:    g.perQuery,
+			MaxTime:      time.Duration(req.MaxTimeUs) * time.Microsecond,
+			Overlap:      req.Overlap,
+			GlobalBudget: req.GlobalBudget,
+			Ctx:          ctx,
+		},
+		Parallelism: req.Parallelism,
+	}
+	applyDeadlineBudget(&opts.SearchOptions, ctx)
+	results := make([]repro.Result, len(queries))
+	if err := b.SearchBatchInto(queries, opts, results); err != nil {
+		g.settle(s.buckets, 0)
+		return searchFailure(w, err)
+	}
+	resp := BatchResponse{Results: make([]SearchResponse, len(results))}
+	for i := range results {
+		resp.Results[i] = searchResponse(&results[i])
+		resp.ChunksRead += results[i].ChunksRead
+		resp.Degraded = resp.Degraded || results[i].Degraded
+	}
+	if g.shrunk {
+		resp.ChunksGranted = g.perQuery
+	}
+	g.settle(s.buckets, resp.ChunksRead)
+	writeJSON(w, resp)
+	return result{outcome: OutcomeOK, chunksRead: resp.ChunksRead, degraded: resp.Degraded}
+}
+
+func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) result {
+	b, ok := s.lookupIndex(w, r)
+	if !ok {
+		return result{outcome: OutcomeClientError}
+	}
+	var req MultiRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if err := checkStopRules(req.K, req.MaxChunks, 0); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	if len(req.Descriptors) == 0 {
+		writeError(w, http.StatusBadRequest, "descriptors must be non-empty", 0)
+		return result{outcome: OutcomeClientError}
+	}
+	descriptors := make([]repro.Vector, len(req.Descriptors))
+	for i, d := range req.Descriptors {
+		if err := checkVector("descriptors", i, d); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), 0)
+			return result{outcome: OutcomeClientError}
+		}
+		descriptors[i] = repro.Vector(d)
+	}
+	ctx, cancel, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return result{outcome: OutcomeClientError}
+	}
+	defer cancel()
+	// Multi-search budgets are always chunk-denominated (MaxChunks 0
+	// defaults to 3 per descriptor), so the estimate uses that default.
+	maxChunks := req.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 3
+	}
+	g, ok := s.admitChunks(w, r, len(descriptors), maxChunks, false)
+	if !ok {
+		return result{outcome: OutcomeShedTenant}
+	}
+	res, err := b.MultiSearch(descriptors, repro.MultiSearchOptions{
+		K:            req.K,
+		MaxChunks:    g.perQuery,
+		RankWeighted: req.RankWeighted,
+		Overlap:      req.Overlap,
+		GlobalBudget: req.GlobalBudget,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		g.settle(s.buckets, 0)
+		return searchFailure(w, err)
+	}
+	g.settle(s.buckets, res.ChunksRead)
+	resp := MultiResponse{
+		Images:        make([]WireImage, len(res.Images)),
+		Descriptors:   res.Descriptors,
+		ChunksRead:    res.ChunksRead,
+		SimulatedUs:   res.Simulated.Microseconds(),
+		Degraded:      res.Degraded,
+		ChunksSkipped: res.ChunksSkipped,
+	}
+	for i, im := range res.Images {
+		resp.Images[i] = WireImage{Image: im.Image, Score: im.Score, Matches: im.Matches}
+	}
+	if g.shrunk {
+		resp.ChunksGranted = g.perQuery
+	}
+	writeJSON(w, resp)
+	return result{outcome: OutcomeOK, chunksRead: res.ChunksRead, degraded: res.Degraded}
+}
+
+// applyDeadlineBudget mirrors a real deadline into the simulated time
+// budget for requests that set no explicit stop rule: the modeled 2005
+// machine is given the same horizon the wall clock enforces, so an
+// undeclared request degrades to a time-budget search instead of a
+// run-to-completion one that the deadline then kills.
+func applyDeadlineBudget(opts *repro.SearchOptions, ctx context.Context) {
+	if opts.MaxChunks > 0 || opts.MaxTime > 0 {
+		return
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			opts.MaxTime = remain
+		}
+	}
+}
+
+// searchResponse maps a facade result onto the wire.
+func searchResponse(res *repro.Result) SearchResponse {
+	out := SearchResponse{
+		Neighbors:     make([]WireNeighbor, len(res.Neighbors)),
+		ChunksRead:    res.ChunksRead,
+		SimulatedUs:   res.Simulated.Microseconds(),
+		WallUs:        res.Wall.Microseconds(),
+		Exact:         res.Exact,
+		Degraded:      res.Degraded,
+		ChunksSkipped: res.ChunksSkipped,
+		ShardsDown:    res.ShardsDown,
+	}
+	for i, nb := range res.Neighbors {
+		out.Neighbors[i] = WireNeighbor{ID: uint32(nb.ID), Dist: nb.Dist}
+	}
+	return out
+}
+
+// ---- lifecycle endpoints ----
+
+// handleHealthz answers liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz answers readiness: 200 while accepting work, 503 once
+// draining — the signal a load balancer keys on to stop routing here
+// before the listener actually closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", 1)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// handleMetrics serves the metrics snapshot as one JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.Snapshot(s.limiter.InFlight(), s.reg))
+}
+
+// handleIndexes lists the registered indexes with their shard health.
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	out := []IndexSnapshot{}
+	for _, name := range s.reg.Names() {
+		b, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		is := IndexSnapshot{Name: name, Chunks: b.Chunks(), Descriptors: b.Len()}
+		if sh, ok := b.(ShardHealth); ok {
+			is.ShardsDown = sh.ShardsDown()
+			for sd := 0; sd < sh.Shards(); sd++ {
+				is.Shards = append(is.Shards, ShardState{Shard: sd, Down: sh.ShardDown(sd)})
+			}
+		}
+		out = append(out, is)
+	}
+	writeJSON(w, out)
+}

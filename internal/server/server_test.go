@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// fakeBackend is a scriptable Backend for exercising the server's
+// control paths (limits, deadlines, panics) without real search work.
+type fakeBackend struct {
+	searchFn func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error)
+	batchFn  func(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result) error
+	multiFn  func(d []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error)
+}
+
+func (f *fakeBackend) Search(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+	if f.searchFn != nil {
+		return f.searchFn(q, opts)
+	}
+	return &repro.Result{ChunksRead: 1}, nil
+}
+
+func (f *fakeBackend) SearchBatchInto(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result) error {
+	if f.batchFn != nil {
+		return f.batchFn(queries, opts, results)
+	}
+	for i := range results {
+		results[i] = repro.Result{ChunksRead: 1}
+	}
+	return nil
+}
+
+func (f *fakeBackend) MultiSearch(d []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error) {
+	if f.multiFn != nil {
+		return f.multiFn(d, opts)
+	}
+	return &repro.MultiResult{Descriptors: len(d), ChunksRead: len(d)}, nil
+}
+
+func (f *fakeBackend) Chunks() int  { return 8 }
+func (f *fakeBackend) Len() int     { return 800 }
+func (f *fakeBackend) Close() error { return nil }
+
+// buildTestIndex builds a small real index for end-to-end requests.
+func buildTestIndex(t testing.TB, n int) (*repro.Index, *repro.Collection) {
+	t.Helper()
+	coll := repro.GenerateCollection(n, 42)
+	ix, err := repro.Build(coll, repro.BuildConfig{Strategy: repro.StrategySRTree, ChunkSize: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, coll
+}
+
+// serveTest mounts a server over the given backends and returns the test
+// server plus the Server for direct inspection. Cleanup shuts both down.
+func serveTest(t testing.TB, cfg Config, backends map[string]Backend) (*httptest.Server, *Server) {
+	t.Helper()
+	reg := NewRegistry()
+	for name, b := range backends {
+		if err := reg.Add(name, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(reg, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts, s
+}
+
+// doJSON posts body as JSON (or GETs when body is nil) and returns the
+// response with its decoded-to-bytes body.
+func doJSON(t testing.TB, method, url string, body any, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestServeSearchBatchMulti(t *testing.T) {
+	ix, coll := buildTestIndex(t, 2000)
+	ts, _ := serveTest(t, Config{}, map[string]Backend{"main": ix})
+
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: coll.Vec(17), K: 5, MaxChunks: 3}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("search: %d: %s", resp.StatusCode, raw)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Neighbors) == 0 || len(sr.Neighbors) > 5 {
+		t.Fatalf("neighbors = %d, want 1..5", len(sr.Neighbors))
+	}
+	if sr.ChunksRead <= 0 || sr.ChunksRead > 3 {
+		t.Fatalf("chunks_read = %d, want 1..3 under a 3-chunk budget", sr.ChunksRead)
+	}
+	if sr.Degraded || sr.ChunksSkipped != 0 || sr.ShardsDown != 0 {
+		t.Fatalf("unsharded healthy search reported degradation: %+v", sr)
+	}
+
+	resp, raw = doJSON(t, "POST", ts.URL+"/v1/indexes/main/batch",
+		BatchRequest{Queries: [][]float32{coll.Vec(1), coll.Vec(2), coll.Vec(3)}, K: 4, MaxChunks: 2}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, raw)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("batch results = %d, want 3", len(br.Results))
+	}
+	if br.ChunksRead <= 0 {
+		t.Fatalf("batch chunks_read = %d, want positive", br.ChunksRead)
+	}
+
+	resp, raw = doJSON(t, "POST", ts.URL+"/v1/indexes/main/multi",
+		MultiRequest{Descriptors: [][]float32{coll.Vec(40), coll.Vec(41), coll.Vec(42)}}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("multi: %d: %s", resp.StatusCode, raw)
+	}
+	var mr MultiResponse
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Descriptors != 3 || len(mr.Images) == 0 {
+		t.Fatalf("multi: %d descriptors, %d images; want 3 and >0", mr.Descriptors, len(mr.Images))
+	}
+
+	// Lifecycle and introspection endpoints.
+	resp, _ = doJSON(t, "GET", ts.URL+"/healthz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "GET", ts.URL+"/readyz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+	resp, raw = doJSON(t, "GET", ts.URL+"/v1/indexes", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("indexes: %d", resp.StatusCode)
+	}
+	var idxs []IndexSnapshot
+	if err := json.Unmarshal(raw, &idxs); err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) != 1 || idxs[0].Name != "main" || idxs[0].Descriptors != ix.Len() {
+		t.Fatalf("indexes = %+v, want [main with %d descriptors]", idxs, ix.Len())
+	}
+	resp, raw = doJSON(t, "GET", ts.URL+"/metrics", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.OK != 3 || snap.Requests != 3 {
+		t.Fatalf("metrics after 3 requests: OK=%d Requests=%d, want 3/3", snap.OK, snap.Requests)
+	}
+	if snap.ChunksCharged <= 0 {
+		t.Fatalf("metrics ChunksCharged = %d, want positive", snap.ChunksCharged)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ix, coll := buildTestIndex(t, 1000)
+	ts, _ := serveTest(t, Config{}, map[string]Backend{"main": ix})
+	q := coll.Vec(0)
+
+	cases := []struct {
+		name    string
+		path    string
+		body    any
+		headers map[string]string
+		want    int
+	}{
+		{"negative k", "/v1/indexes/main/search", SearchRequest{Query: q, K: -1}, nil, 400},
+		{"negative max_chunks", "/v1/indexes/main/search", SearchRequest{Query: q, MaxChunks: -2}, nil, 400},
+		{"conflicting stop rules", "/v1/indexes/main/search", SearchRequest{Query: q, MaxChunks: 3, MaxTimeUs: 500}, nil, 400},
+		{"wrong dims", "/v1/indexes/main/search", SearchRequest{Query: []float32{1, 2, 3}}, nil, 400},
+		{"unknown field", "/v1/indexes/main/search", map[string]any{"query": q, "kk": 3}, nil, 400},
+		{"not json", "/v1/indexes/main/search", "not an object", nil, 400},
+		{"empty batch", "/v1/indexes/main/batch", BatchRequest{}, nil, 400},
+		{"batch bad vector", "/v1/indexes/main/batch", BatchRequest{Queries: [][]float32{{1}}}, nil, 400},
+		{"empty multi", "/v1/indexes/main/multi", MultiRequest{}, nil, 400},
+		{"bad deadline header", "/v1/indexes/main/search", SearchRequest{Query: q},
+			map[string]string{HeaderDeadlineMs: "soon"}, 400},
+		{"zero deadline header", "/v1/indexes/main/search", SearchRequest{Query: q},
+			map[string]string{HeaderDeadlineMs: "0"}, 400},
+		{"unknown index", "/v1/indexes/nope/search", SearchRequest{Query: q}, nil, 404},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, raw := doJSON(t, "POST", ts.URL+c.path, c.body, c.headers)
+			if resp.StatusCode != c.want {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, c.want, raw)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %q should be an ErrorResponse with a diagnostic", raw)
+			}
+		})
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	boom := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		panic("chunk decoder corrupted")
+	}}
+	ts, s := serveTest(t, Config{}, map[string]Backend{"boom": boom})
+
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/boom/search",
+		SearchRequest{Query: make([]float32, repro.Dims)}, nil)
+	if resp.StatusCode != 500 {
+		t.Fatalf("panicking handler: %d (%s), want 500", resp.StatusCode, raw)
+	}
+	// The server survives: liveness and a second (also panicking) request
+	// still get answered instead of tearing the process down.
+	resp, _ = doJSON(t, "GET", ts.URL+"/healthz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz after panic: %d", resp.StatusCode)
+	}
+	if got := s.Metrics().Snapshot(0, nil).ServerErrors; got != 1 {
+		t.Fatalf("ServerErrors = %d, want 1", got)
+	}
+}
+
+func TestInFlightShedding(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	slow := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		entered <- struct{}{}
+		<-release
+		return &repro.Result{ChunksRead: 1}, nil
+	}}
+	ts, s := serveTest(t, Config{MaxInFlight: 1}, map[string]Backend{"slow": slow})
+
+	body := SearchRequest{Query: make([]float32, repro.Dims)}
+	done := make(chan int, 1)
+	go func() {
+		resp, _ := doJSON(t, "POST", ts.URL+"/v1/indexes/slow/search", body, nil)
+		done <- resp.StatusCode
+	}()
+	<-entered // the slot is now held
+
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/slow/search", body, nil)
+	if resp.StatusCode != 503 {
+		t.Fatalf("second request: %d (%s), want 503 shed", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response must carry Retry-After")
+	}
+	close(release)
+	if got := <-done; got != 200 {
+		t.Fatalf("first request: %d, want 200", got)
+	}
+	snap := s.Metrics().Snapshot(0, nil)
+	if snap.ShedInFlight != 1 || snap.OK != 1 {
+		t.Fatalf("ShedInFlight=%d OK=%d, want 1/1", snap.ShedInFlight, snap.OK)
+	}
+}
+
+func TestTenantBucketsShedAndIsolate(t *testing.T) {
+	clock := newFakeClock()
+	echo := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		return &repro.Result{ChunksRead: opts.MaxChunks}, nil
+	}}
+	ts, _ := serveTest(t, Config{TenantRate: 10, TenantBurst: 10, Clock: clock.now},
+		map[string]Backend{"main": echo})
+
+	body := SearchRequest{Query: make([]float32, repro.Dims), MaxChunks: 10}
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body,
+		map[string]string{HeaderTenant: "alice"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("first request: %d (%s)", resp.StatusCode, raw)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body,
+		map[string]string{HeaderTenant: "alice"})
+	if resp.StatusCode != 429 {
+		t.Fatalf("over-budget tenant: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// Another tenant is unaffected: buckets are per-tenant, not global.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body,
+		map[string]string{HeaderTenant: "bob"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("other tenant: %d, want 200", resp.StatusCode)
+	}
+	// Refill readmits.
+	clock.advance(time.Second)
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body,
+		map[string]string{HeaderTenant: "alice"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("refilled tenant: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestTenantRefundOnEarlyStop(t *testing.T) {
+	// The backend reads only 1 of its 2-chunk budget; each request's net
+	// cost is 1 chunk. A 6-chunk bucket with a frozen clock then admits
+	// 5 such requests — without refunds it would only admit 3.
+	cheap := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		return &repro.Result{ChunksRead: 1}, nil
+	}}
+	ts, _ := serveTest(t, Config{TenantRate: 0.001, TenantBurst: 6, Clock: newFakeClock().now},
+		map[string]Backend{"main": cheap})
+	body := SearchRequest{Query: make([]float32, repro.Dims), MaxChunks: 2}
+	for i := 0; i < 5; i++ {
+		resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: %d (%s) — early-stop refunds not happening", i, resp.StatusCode, raw)
+		}
+	}
+	// 1 token left: the bucket is real, not disabled.
+	resp, _ := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search", body, nil)
+	if resp.StatusCode != 429 {
+		t.Fatalf("drained bucket: %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestBestEffortShrink(t *testing.T) {
+	var gotMaxChunks int
+	var mu sync.Mutex
+	echo := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		mu.Lock()
+		gotMaxChunks = opts.MaxChunks
+		mu.Unlock()
+		return &repro.Result{ChunksRead: opts.MaxChunks}, nil
+	}}
+	clock := newFakeClock()
+	ts, s := serveTest(t, Config{TenantRate: 10, TenantBurst: 10, BestEffort: true, Clock: clock.now},
+		map[string]Backend{"main": echo})
+
+	// Drain the bucket to 4 tokens, then ask for 20: best-effort admits
+	// at a 4-chunk budget instead of shedding.
+	if ok, _ := s.buckets.Take(DefaultTenant, 6); !ok {
+		t.Fatal("priming take failed")
+	}
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: make([]float32, repro.Dims), MaxChunks: 20}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("best-effort request: %d (%s), want 200", resp.StatusCode, raw)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ChunksGranted != 4 {
+		t.Fatalf("chunks_granted = %d, want 4", sr.ChunksGranted)
+	}
+	mu.Lock()
+	got := gotMaxChunks
+	mu.Unlock()
+	if got != 4 {
+		t.Fatalf("backend saw MaxChunks = %d, want the shrunk 4", got)
+	}
+	if s.Metrics().Snapshot(0, nil).BestEffort != 1 {
+		t.Fatal("BestEffort metric not recorded")
+	}
+
+	// An empty bucket still sheds even in best-effort mode.
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: make([]float32, repro.Dims), MaxChunks: 20}, nil)
+	if resp.StatusCode != 429 {
+		t.Fatalf("empty-bucket best-effort: %d, want 429", resp.StatusCode)
+	}
+
+	// Time-budget requests are never shrunk: they shed.
+	clock.advance(time.Hour)
+	if ok, _ := s.buckets.Take(DefaultTenant, 8); !ok { // leave 2 tokens
+		t.Fatal("priming take failed")
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: make([]float32, repro.Dims), MaxTimeUs: 1000}, nil)
+	if resp.StatusCode != 429 {
+		t.Fatalf("timed request with poor bucket: %d, want 429 (no shrink)", resp.StatusCode)
+	}
+}
+
+func TestDeadlineMiss(t *testing.T) {
+	blocked := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		<-opts.Ctx.Done()
+		return nil, fmt.Errorf("search: canceled after 0 chunks: %w", opts.Ctx.Err())
+	}}
+	ts, s := serveTest(t, Config{}, map[string]Backend{"main": blocked})
+
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: make([]float32, repro.Dims)},
+		map[string]string{HeaderDeadlineMs: "30"})
+	if resp.StatusCode != 503 {
+		t.Fatalf("expired request: %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("deadline miss must carry Retry-After")
+	}
+	if got := s.Metrics().Snapshot(0, nil).DeadlineMiss; got != 1 {
+		t.Fatalf("DeadlineMiss = %d, want 1", got)
+	}
+}
+
+func TestDefaultDeadlineBecomesTimeBudget(t *testing.T) {
+	var gotMaxTime time.Duration
+	var mu sync.Mutex
+	echo := &fakeBackend{searchFn: func(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error) {
+		mu.Lock()
+		gotMaxTime = opts.MaxTime
+		mu.Unlock()
+		return &repro.Result{ChunksRead: 1}, nil
+	}}
+	ts, _ := serveTest(t, Config{DefaultDeadline: 5 * time.Second}, map[string]Backend{"main": echo})
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: make([]float32, repro.Dims)}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("request: %d (%s)", resp.StatusCode, raw)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotMaxTime <= 0 || gotMaxTime > 5*time.Second {
+		t.Fatalf("MaxTime = %v, want (0, 5s]: the deadline should become the simulated budget", gotMaxTime)
+	}
+}
+
+func TestDrainingGate(t *testing.T) {
+	ix, coll := buildTestIndex(t, 1000)
+	reg := NewRegistry()
+	if err := reg.Add("main", ix); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := doJSON(t, "GET", ts.URL+"/readyz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz before drain: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = doJSON(t, "GET", ts.URL+"/readyz", nil, nil)
+	if resp.StatusCode != 503 {
+		t.Fatalf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, "POST", ts.URL+"/v1/indexes/main/search",
+		SearchRequest{Query: coll.Vec(0)}, nil)
+	if resp.StatusCode != 503 {
+		t.Fatalf("search while draining: %d, want 503", resp.StatusCode)
+	}
+	// Liveness stays green during drain: the process is healthy, just
+	// not accepting new work.
+	resp, _ = doJSON(t, "GET", ts.URL+"/healthz", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+}

@@ -218,6 +218,12 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 	// rule after every chunk against the global count and the fleet's
 	// elapsed (the max over the shards — they run in parallel).
 	for pos := range sc.ranked {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				res.Neighbors, res.PerShard = neighbors, perShard
+				return fmt.Errorf("shard: global search canceled after %d chunks: %w", res.ChunksRead, err)
+			}
+		}
 		rc := &sc.ranked[pos]
 		s := r.gstore.owner[rc.Idx]
 		m := &r.gstore.metas[rc.Idx]

@@ -327,6 +327,41 @@ func (r *Router) ShardDown(s int) bool { return r.down[s].Load() }
 // DownShards returns the number of shards currently held down.
 func (r *Router) DownShards() int { return int(r.downCount.Load()) }
 
+// MarkShardUp returns shard s to rotation after MarkShardDown (or after
+// the read path held it down), without touching the other shards' health
+// or the load counters. The recovery half of the health switch: a prober
+// that saw shard s answer again calls this to resume routing to it.
+// Un-marking is idempotent; if the shard's store is still failing, the
+// next read marks it down again.
+func (r *Router) MarkShardUp(s int) {
+	if r.down[s].Swap(false) {
+		r.downCount.Add(-1)
+	}
+}
+
+// ProbeShard checks whether shard s's physical store can serve reads
+// right now: it reads the shard's first physical chunk directly (no
+// failover, no retry, no simulated billing — probing is control-plane
+// traffic) and returns the store's error, nil on success or when the
+// shard holds no chunks. Probing never changes health state; callers
+// combine it with MarkShardUp / MarkShardDown. A background prober uses
+// it to detect both recovery of a down shard and silent death of an idle
+// one.
+func (r *Router) ProbeShard(s int) error {
+	if s < 0 || s >= len(r.shards) {
+		return fmt.Errorf("shard: probe shard %d outside [0,%d)", s, len(r.shards))
+	}
+	st := r.shards[s].store
+	if len(st.Meta()) == 0 {
+		return nil
+	}
+	var data chunkfile.Data
+	if err := st.ReadChunk(0, &data); err != nil {
+		return fmt.Errorf("shard: probe shard %d: %w", s, err)
+	}
+	return nil
+}
+
 // ResetHealth returns every shard to rotation and zeroes the replica
 // load counters — the "operator replaced the disk" switch, and the way
 // tests reuse one router across fault scenarios.
@@ -653,6 +688,7 @@ func (r *Router) multiQueryVia(descriptors []vec.Vector, opts multiquery.Options
 		K:       opts.K,
 		Stop:    opts.Stop,
 		Overlap: opts.Overlap,
+		Ctx:     opts.Ctx,
 	}, results)
 	if err != nil {
 		return nil, fmt.Errorf("shard: multiquery: %w", err)

@@ -31,6 +31,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -301,6 +302,35 @@ type SearchOptions struct {
 	// the max over the shards and ChunksRead their sum. See DESIGN.md §7.
 	// Ignored by Index: one machine's budget is already global.
 	GlobalBudget bool
+	// Ctx, when non-nil, cancels the search between chunk charges: once
+	// the context is cancelled or past its deadline, no further chunk is
+	// read or billed and the search returns an error wrapping ctx.Err()
+	// (errors.Is against context.Canceled / context.DeadlineExceeded).
+	// This is how a serving layer propagates per-request deadlines: an
+	// abandoned request stops consuming budget within one chunk. A nil Ctx
+	// never stops the search.
+	Ctx context.Context
+}
+
+// validate reports contradictory or out-of-range options as a diagnostic
+// error at the facade boundary, instead of silently clamping. Zero values
+// remain the documented defaults (K 0 = 30, no budget = run to
+// completion).
+func (opts SearchOptions) validate() error {
+	if opts.K < 0 {
+		return fmt.Errorf("repro: K %d is negative (0 selects the default of 30)", opts.K)
+	}
+	if opts.MaxChunks < 0 {
+		return fmt.Errorf("repro: MaxChunks %d is negative (0 disables the chunk budget)", opts.MaxChunks)
+	}
+	if opts.MaxTime < 0 {
+		return fmt.Errorf("repro: MaxTime %v is negative (0 disables the time budget)", opts.MaxTime)
+	}
+	if opts.MaxChunks > 0 && opts.MaxTime > 0 {
+		return fmt.Errorf("repro: MaxChunks %d and MaxTime %v are conflicting stop rules; set at most one",
+			opts.MaxChunks, opts.MaxTime)
+	}
+	return nil
 }
 
 // Result is a search outcome.
@@ -350,6 +380,9 @@ func stopRule(opts SearchOptions) search.StopRule {
 // one Result across queries (the steady-state serving pattern) performs
 // zero allocations per query.
 func (ix *Index) SearchInto(q Vector, opts SearchOptions, res *Result) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	stop := stopRule(opts)
 	var sr search.Result
 	sr.Neighbors = res.Neighbors
@@ -358,6 +391,7 @@ func (ix *Index) SearchInto(q Vector, opts SearchOptions, res *Result) error {
 		Stop:    stop,
 		Overlap: opts.Overlap,
 		Model:   opts.Model,
+		Ctx:     opts.Ctx,
 	}, &sr); err != nil {
 		return err
 	}
@@ -387,6 +421,22 @@ type MultiSearchOptions struct {
 	// of once per shard — the same discipline as
 	// SearchOptions.GlobalBudget. Ignored by Index.
 	GlobalBudget bool
+	// Ctx, when non-nil, cancels the bag's searches between chunk charges
+	// — the same deadline-propagation contract as SearchOptions.Ctx.
+	Ctx context.Context
+}
+
+// validate reports out-of-range multi-search options as a diagnostic
+// error at the facade boundary; zero values remain the documented
+// defaults (K 0 = 10, MaxChunks 0 = 3).
+func (opts MultiSearchOptions) validate() error {
+	if opts.K < 0 {
+		return fmt.Errorf("repro: K %d is negative (0 selects the default of 10)", opts.K)
+	}
+	if opts.MaxChunks < 0 {
+		return fmt.Errorf("repro: MaxChunks %d is negative (0 selects the default of 3)", opts.MaxChunks)
+	}
+	return nil
 }
 
 // ImageMatch is one ranked image of a multi-descriptor search.
@@ -401,6 +451,9 @@ type MultiResult = multiquery.Result
 // bag of descriptors is a natural batch against one store, so it runs on
 // the index's chunk-major batch engine.
 func (ix *Index) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	maxChunks := opts.MaxChunks
 	if maxChunks <= 0 {
 		maxChunks = 3
@@ -410,6 +463,7 @@ func (ix *Index) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*Mu
 		Stop:         search.ChunkBudget(maxChunks),
 		RankWeighted: opts.RankWeighted,
 		Overlap:      opts.Overlap,
+		Ctx:          opts.Ctx,
 	})
 }
 

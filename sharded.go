@@ -209,6 +209,19 @@ func (sx *ShardedIndex) ShardDown(s int) bool { return sx.router.ShardDown(s) }
 // ShardsDown returns the number of shards currently held down.
 func (sx *ShardedIndex) ShardsDown() int { return sx.router.DownShards() }
 
+// MarkShardUp returns shard s to rotation after a MarkShardDown (or
+// after the read path held it down), leaving the other shards' health
+// untouched — the per-shard recovery switch a health prober flips once
+// the shard answers probes again. If the shard's store is still failing,
+// the next read marks it down again.
+func (sx *ShardedIndex) MarkShardUp(s int) { sx.router.MarkShardUp(s) }
+
+// ProbeShard checks whether shard s's store can serve reads right now,
+// without failover, retries, health-state changes or simulated billing —
+// control-plane traffic for health probers. It returns nil on success
+// and the store's error otherwise.
+func (sx *ShardedIndex) ProbeShard(s int) error { return sx.router.ProbeShard(s) }
+
 // ResetHealth returns every shard to rotation — the "operator replaced
 // the disk" switch.
 func (sx *ShardedIndex) ResetHealth() { sx.router.ResetHealth() }
@@ -229,6 +242,9 @@ func (sx *ShardedIndex) Search(q Vector, opts SearchOptions) (*Result, error) {
 // way Simulated is the max over the shards and ChunksRead their sum. The
 // Neighbors slice already in res is reused when it has capacity.
 func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	sr := sx.resPool.Get().(*shard.Result)
 	defer sx.resPool.Put(sr)
 	neighbors := sr.Neighbors
@@ -242,6 +258,7 @@ func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) er
 		Stop:    stopRule(opts),
 		Overlap: opts.Overlap,
 		Model:   opts.Model,
+		Ctx:     opts.Ctx,
 	}, sr)
 	if err != nil {
 		sr.Neighbors = neighbors
@@ -268,6 +285,9 @@ func (sx *ShardedIndex) SearchInto(q Vector, opts SearchOptions, res *Result) er
 // exactly in either discipline. The results array is the caller-owned
 // arena, as in Index.SearchBatchInto.
 func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, results []Result) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	if len(results) != len(queries) {
 		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
 	}
@@ -293,6 +313,7 @@ func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, res
 		Model:       opts.Model,
 		Overlap:     opts.Overlap,
 		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
 	}, srs)
 	if err != nil {
 		for i := range srs {
@@ -345,6 +366,9 @@ func (sx *ShardedIndex) SearchBatch(queries []Vector, opts BatchOptions) ([]*Res
 // aggregation as Index.MultiSearch, and the per-descriptor chunk budget
 // applies per shard — or once across the fleet with opts.GlobalBudget.
 func (sx *ShardedIndex) MultiSearch(descriptors []Vector, opts MultiSearchOptions) (*MultiResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	maxChunks := opts.MaxChunks
 	if maxChunks <= 0 {
 		maxChunks = 3
@@ -358,6 +382,7 @@ func (sx *ShardedIndex) MultiSearch(descriptors []Vector, opts MultiSearchOption
 		Stop:         search.ChunkBudget(maxChunks),
 		RankWeighted: opts.RankWeighted,
 		Overlap:      opts.Overlap,
+		Ctx:          opts.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)

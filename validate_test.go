@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSearchOptionsValidation pins the facade boundary's option
+// validation: malformed options are reported as diagnostic errors from
+// every search entry point — unsharded and sharded, single, batch, and
+// multi-descriptor — instead of being silently clamped.
+func TestSearchOptionsValidation(t *testing.T) {
+	coll := GenerateCollection(800, 7)
+	ix, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	sx, err := BuildSharded(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	q := coll.Vec(0)
+
+	bad := []struct {
+		name string
+		opts SearchOptions
+		want string // substring of the error
+	}{
+		{"negative K", SearchOptions{K: -1}, "K -1 is negative"},
+		{"negative MaxChunks", SearchOptions{MaxChunks: -2}, "MaxChunks -2 is negative"},
+		{"negative MaxTime", SearchOptions{MaxTime: -time.Second}, "MaxTime -1s is negative"},
+		{"conflicting stop rules", SearchOptions{MaxChunks: 3, MaxTime: time.Second}, "conflicting stop rules"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			entry := []struct {
+				name string
+				call func() error
+			}{
+				{"Index.Search", func() error { _, err := ix.Search(q, tc.opts); return err }},
+				{"Index.SearchInto", func() error { var r Result; return ix.SearchInto(q, tc.opts, &r) }},
+				{"Index.SearchBatchInto", func() error {
+					res := make([]Result, 1)
+					return ix.SearchBatchInto([]Vector{q}, BatchOptions{SearchOptions: tc.opts}, res)
+				}},
+				{"ShardedIndex.Search", func() error { _, err := sx.Search(q, tc.opts); return err }},
+				{"ShardedIndex.SearchInto", func() error { var r Result; return sx.SearchInto(q, tc.opts, &r) }},
+				{"ShardedIndex.SearchBatchInto", func() error {
+					res := make([]Result, 1)
+					return sx.SearchBatchInto([]Vector{q}, BatchOptions{SearchOptions: tc.opts}, res)
+				}},
+			}
+			for _, e := range entry {
+				err := e.call()
+				if err == nil {
+					t.Errorf("%s(%+v) = nil, want error containing %q", e.name, tc.opts, tc.want)
+					continue
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("%s(%+v) = %q, want substring %q", e.name, tc.opts, err, tc.want)
+				}
+			}
+		})
+	}
+
+	// Zero values are the documented defaults, not errors.
+	if _, err := ix.Search(q, SearchOptions{}); err != nil {
+		t.Errorf("Index.Search with zero options: %v", err)
+	}
+	if _, err := sx.Search(q, SearchOptions{}); err != nil {
+		t.Errorf("ShardedIndex.Search with zero options: %v", err)
+	}
+}
+
+// TestMultiSearchOptionsValidation does the same for the
+// multi-descriptor entry points.
+func TestMultiSearchOptionsValidation(t *testing.T) {
+	coll := GenerateCollection(800, 9)
+	ix, err := Build(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	sx, err := BuildSharded(coll, BuildConfig{Strategy: StrategySRTree, ChunkSize: 200}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	ds := []Vector{coll.Vec(0), coll.Vec(1)}
+
+	bad := []struct {
+		name string
+		opts MultiSearchOptions
+		want string
+	}{
+		{"negative K", MultiSearchOptions{K: -4}, "K -4 is negative"},
+		{"negative MaxChunks", MultiSearchOptions{MaxChunks: -1}, "MaxChunks -1 is negative"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ix.MultiSearch(ds, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Index.MultiSearch(%+v) = %v, want substring %q", tc.opts, err, tc.want)
+			}
+			if _, err := sx.MultiSearch(ds, tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ShardedIndex.MultiSearch(%+v) = %v, want substring %q", tc.opts, err, tc.want)
+			}
+		})
+	}
+	if _, err := ix.MultiSearch(ds, MultiSearchOptions{}); err != nil {
+		t.Errorf("Index.MultiSearch with zero options: %v", err)
+	}
+}
