@@ -19,9 +19,15 @@
 // with shard 0 held down at replication 1 (honest degradation) and 2
 // (replicas mask the failure).
 //
+// Schema 5 adds decoded-chunk cache rows on the Zipf workload: wall
+// throughput over a file-backed index with and without the cache (the
+// cached row also records its hit rate), and the cost model's
+// quality/time residency curve — simulated ms/query with the 0%, 10%,
+// and 25% hottest chunks RAM-resident via simdisk.CacheTier.
+//
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_7.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_8.json]
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/simdisk"
 	"repro/internal/vec"
 )
 
@@ -76,6 +83,9 @@ type measurement struct {
 	WallP50Us int64   `json:"wall_p50_us,omitempty"`
 	WallP99Us int64   `json:"wall_p99_us,omitempty"`
 	ShedRate  float64 `json:"shed_rate,omitempty"`
+	// CacheHitRate (schema 5) is hits/(hits+misses) of the decoded-chunk
+	// cache over the row's whole run, for rows run against a cached store.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // withStats annotates a measurement with the cost-model outcome of one
@@ -205,7 +215,7 @@ func main() {
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 4, "shard count for the sharded benchmarks")
-	out := flag.String("out", "BENCH_7.json", "output path")
+	out := flag.String("out", "BENCH_8.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -229,7 +239,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:      4,
+		Schema:      5,
 		CreatedUnix: time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -561,6 +571,81 @@ func main() {
 		servingRow(replicated, server.Config{}, 1, len(queries), 0)
 	replicated.ResetHealth()
 
+	// Cache rows (schema 5). First the wall-clock effect: the same Zipf
+	// budget-5 batch over a file-backed index, cacheless vs behind a
+	// decoded-chunk cache big enough to go hot. Results are byte-identical
+	// (pinned by tests); only wall time and the hit rate differ.
+	cacheDir, err := os.MkdirTemp("", "benchsnap-cache-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: cache dir:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(cacheDir)
+	cp, ip := cacheDir+"/bench.chunk", cacheDir+"/bench.idx"
+	if err := idx.Save(cp, ip); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: cache save:", err)
+		os.Exit(1)
+	}
+	fileBench := func(cfg repro.OpenConfig) measurement {
+		ix, err := repro.OpenWith(cp, ip, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: cache open:", err)
+			os.Exit(1)
+		}
+		defer ix.Close()
+		results := make([]repro.Result, len(zipfQueries))
+		run := func() error {
+			return ix.SearchBatchInto(zipfQueries, repro.BatchOptions{
+				SearchOptions: repro.SearchOptions{K: *k, MaxChunks: 5},
+			}, results)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m := toMeasurement(r)
+		m.OpsPerSec *= float64(len(zipfQueries))
+		m = withStats(m, results)
+		if st := ix.CacheStats(); st.Enabled {
+			m.CacheHitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		return m
+	}
+	snap.Benchmarks["zipf_budget5_file_uncached_200q"] = fileBench(repro.OpenConfig{})
+	snap.Benchmarks["zipf_budget5_file_cached_200q"] = fileBench(repro.OpenConfig{CacheBytes: 256 << 20})
+
+	// Then the modeled residency curve: the 2005 machine with the top-N%
+	// hottest chunks RAM-resident (simdisk.CacheTier), same workload. The
+	// 0% row is the baseline and doubles as the access-profiling pass that
+	// the 10% and 25% promotions rank chunks by; a resident chunk is
+	// charged only its CPU scan, so sim_ms_per_query falls as residency
+	// grows while answers and chunks_per_query stay identical.
+	tierModel := repro.CostModel(*simdisk.Default2005())
+	tier := simdisk.NewCacheTier(idx.Chunks())
+	tierModel.Cache = tier
+	residentRow := func(frac float64) measurement {
+		tier.SetResidentTopFraction(frac)
+		results := make([]repro.Result, len(zipfQueries))
+		if err := idx.SearchBatchInto(zipfQueries, repro.BatchOptions{
+			SearchOptions: repro.SearchOptions{K: *k, MaxChunks: 5, Model: &tierModel},
+		}, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: resident row:", err)
+			os.Exit(1)
+		}
+		return withStats(measurement{Iterations: 1}, results)
+	}
+	snap.Benchmarks["zipf_budget5_sim_resident0"] = residentRow(0)
+	snap.Benchmarks["zipf_budget5_sim_resident10"] = residentRow(0.10)
+	snap.Benchmarks["zipf_budget5_sim_resident25"] = residentRow(0.25)
+
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap: marshal:", err)
@@ -603,6 +688,9 @@ func main() {
 		if m.WallP99Us > 0 {
 			line += fmt.Sprintf("  wall p50 %dµs p99 %dµs  shed %.2f  %d degraded",
 				m.WallP50Us, m.WallP99Us, m.ShedRate, m.DegradedQueries)
+		}
+		if m.CacheHitRate > 0 {
+			line += fmt.Sprintf("  %.2f hit rate", m.CacheHitRate)
 		}
 		fmt.Println(line)
 	}

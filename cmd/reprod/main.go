@@ -8,7 +8,8 @@
 //
 //	reprod -addr :8080 -index main=/data/idx -index tv=/data/tv \
 //	       -default-deadline 200ms -max-inflight 64 \
-//	       -tenant-rate 500 -tenant-burst 2000 -best-effort
+//	       -tenant-rate 500 -tenant-burst 2000 -best-effort \
+//	       -cache-bytes 268435456
 //
 // Each -index value is name=path, where path is either a sharded index
 // directory (as written by ShardedIndex.Save) or an unsharded index
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	bestEffort := fs.Bool("best-effort", false, "shrink over-budget chunk-budget requests instead of shedding with 429")
 	defaultMaxChunks := fs.Int("default-max-chunks", 0, "admission cost estimate per query without a chunk budget (0 = 16)")
 	probeInterval := fs.Duration("probe-interval", 0, "shard health probe period (0 = 250ms)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes per index, shared across an index's shards (0 = no cache)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests at shutdown")
 	var specs []indexSpec
 	fs.Func("index", "name=path of an index to serve (repeatable); path is a sharded index directory or an unsharded prefix", func(v string) error {
@@ -79,8 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no indexes to serve: pass at least one -index name=path")
 	}
 	if *maxInFlight < 0 || *tenantRate < 0 || *tenantBurst < 0 || *defaultMaxChunks < 0 ||
-		*defaultDeadline < 0 || *probeInterval < 0 || *drainTimeout < 0 {
-		return fmt.Errorf("negative values make no sense for limits, rates, or timeouts")
+		*defaultDeadline < 0 || *probeInterval < 0 || *drainTimeout < 0 || *cacheBytes < 0 {
+		return fmt.Errorf("negative values make no sense for limits, rates, sizes, or timeouts")
 	}
 
 	reg := server.NewRegistry()
@@ -88,7 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// daemon doesn't leak descriptors.
 	defer reg.CloseAll()
 	for _, spec := range specs {
-		b, kind, err := openIndex(spec.path)
+		b, kind, err := openIndex(spec.path, *cacheBytes)
 		if err != nil {
 			return fmt.Errorf("index %q: %w", spec.name, err)
 		}
@@ -136,16 +138,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 }
 
 // openIndex opens path as a sharded index directory or an unsharded
-// prefix, reporting which it picked.
-func openIndex(path string) (server.Backend, string, error) {
+// prefix, reporting which it picked. A positive cacheBytes fronts the
+// index's store(s) with a decoded-chunk cache of that budget.
+func openIndex(path string, cacheBytes int64) (server.Backend, string, error) {
+	cfg := repro.OpenConfig{CacheBytes: cacheBytes}
 	if st, err := os.Stat(path); err == nil && st.IsDir() {
-		sx, err := repro.OpenSharded(path)
+		sx, err := repro.OpenShardedWith(path, cfg)
 		if err != nil {
 			return nil, "", err
 		}
 		return sx, fmt.Sprintf("sharded (%d shards, R=%d)", sx.Shards(), sx.Replication()), nil
 	}
-	ix, err := repro.Open(path+".chunk", path+".idx")
+	ix, err := repro.OpenWith(path+".chunk", path+".idx", cfg)
 	if err != nil {
 		return nil, "", err
 	}

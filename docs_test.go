@@ -126,9 +126,10 @@ func TestDocsIdentifiersExist(t *testing.T) {
 }
 
 // TestDocsGodocCoverage is the docs gate half two: every exported
-// identifier of the facade files (repro.go, sharded.go, batch.go) and of
-// internal/shard carries a doc comment, so the cost-model contracts stay
-// stated at the declaration.
+// identifier of the facade files (repro.go, sharded.go, batch.go,
+// cache.go) and of internal/shard, internal/server, and
+// internal/chunkcache carries a doc comment, so the cost-model and
+// ownership contracts stay stated at the declaration.
 func TestDocsGodocCoverage(t *testing.T) {
 	check := func(label string, decls map[string]bool) {
 		for name, hasDoc := range decls {
@@ -138,9 +139,10 @@ func TestDocsGodocCoverage(t *testing.T) {
 		}
 	}
 	facade := func(name string) bool {
-		return name == "repro.go" || name == "sharded.go" || name == "batch.go"
+		return name == "repro.go" || name == "sharded.go" || name == "batch.go" || name == "cache.go"
 	}
 	check("package repro", exportedDecls(parseDir(t, "."), facade))
 	check("internal/shard", exportedDecls(parseDir(t, filepath.Join("internal", "shard")), nil))
 	check("internal/server", exportedDecls(parseDir(t, filepath.Join("internal", "server")), nil))
+	check("internal/chunkcache", exportedDecls(parseDir(t, filepath.Join("internal", "chunkcache")), nil))
 }

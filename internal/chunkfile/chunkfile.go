@@ -61,7 +61,9 @@ func PaddedBytes(count, dims, pageSize int) int {
 
 // Data is the decoded payload of one chunk. Callers must treat IDs and
 // Vecs as read-only: depending on the Store they may alias store-owned
-// memory (MemStore) or buffers reused by the next ReadChunk (FileStore).
+// memory (MemStore), buffers reused by the next ReadChunk (FileStore),
+// or a refcounted cache entry (chunkcache) pinned until the next read
+// into the same Data.
 type Data struct {
 	IDs  []descriptor.ID
 	Vecs []float32 // flattened, Count × dims
@@ -74,11 +76,25 @@ type Data struct {
 	Stall time.Duration
 	dims  int
 	buf   []byte // FileStore read scratch, reused across ReadChunk calls
-	// owned reports whether IDs/Vecs are Data-owned scratch that decode
-	// may overwrite; false after a MemStore read leaves them aliasing
-	// store memory, forcing the next decode to allocate fresh buffers
-	// instead of corrupting the store.
-	owned bool
+	pin   Pin    // releases the rows' alias when the Data moves on
+	// ownIDs and ownVecs are the Data-owned decode scratch. decode always
+	// writes into them and points IDs/Vecs at them; Alias points IDs/Vecs
+	// at store- or cache-owned memory while the scratch is retained — so
+	// a decode following any number of aliased reads still reuses the
+	// scratch and the steady-state read path stays allocation-free.
+	ownIDs  []descriptor.ID
+	ownVecs []float32
+}
+
+// Pin is the handle a store installs alongside aliased rows (Data.Alias):
+// as long as the pin is held, the store must keep the rows intact —
+// eviction or reuse of the backing buffers must wait for Unpin. The next
+// ReadChunk into the same Data (or an explicit Release) unpins, so a pin
+// lives exactly as long as the alias the ownership rule grants.
+type Pin interface {
+	// Unpin releases the hold. It must be safe to call from any goroutine
+	// and is called at most once per pin handed out.
+	Unpin()
 }
 
 // Len returns the number of descriptors in the chunk.
@@ -86,6 +102,31 @@ func (d *Data) Len() int { return len(d.IDs) }
 
 // Vec returns the i-th vector, aliasing the chunk buffer.
 func (d *Data) Vec(i int) vec.Vector { return vec.Vector(d.Vecs[i*d.dims : (i+1)*d.dims]) }
+
+// Alias installs store-owned rows into d without copying, releasing any
+// alias d held before. pin, when non-nil, is unpinned on the next
+// ReadChunk into d (or Release) — the discipline that lets a cache evict
+// entries by byte budget while never recycling rows a scan still holds.
+// Stores hand out aliases with this method; plain callers never need it.
+func (d *Data) Alias(ids []descriptor.ID, vecs []float32, dims int, pin Pin) {
+	d.Release()
+	d.IDs = ids
+	d.Vecs = vecs
+	d.dims = dims
+	d.pin = pin
+}
+
+// Release unpins any aliased rows d still holds. ReadChunk releases the
+// previous alias automatically, so only callers that park a Data for a
+// long time (pools hold pins until the scratch is next used, which is
+// bounded and harmless) ever need to call it; a missed Release can delay
+// buffer recycling but never corrupts rows.
+func (d *Data) Release() {
+	if d.pin != nil {
+		d.pin.Unpin()
+		d.pin = nil
+	}
+}
 
 // Store is the read interface the search algorithm consumes. FileStore
 // serves from the two on-disk files; MemStore serves from memory (used by
@@ -98,6 +139,16 @@ func (d *Data) Vec(i int) vec.Vector { return vec.Vector(d.Vecs[i*d.dims : (i+1)
 // then serve many query scans within a scan group. FileStore satisfies
 // this with positioned reads (ReadAt) into caller-owned buffers; MemStore
 // hands out read-only aliases of store memory.
+//
+// Ownership of decoded rows (the zero-copy rule): the IDs and Vecs a
+// ReadChunk hands out are valid only until the next ReadChunk into the
+// same Data value, or until Data.Release — whichever comes first. Within
+// that window callers must treat the rows as strictly read-only; they
+// may alias store memory (MemStore), Data-owned scratch the next read
+// overwrites (FileStore), or a pinned cache entry (chunkcache) whose
+// buffers are recycled once unpinned. A caller that needs rows beyond
+// the window must copy them. No search layer retains rows across reads:
+// scans fold rows into their k-NN heaps before the next ReadChunk.
 type Store interface {
 	// Dims returns the descriptor dimensionality.
 	Dims() int
@@ -407,16 +458,18 @@ func (s *FileStore) ReadChunk(i int, data *Data) error {
 func (s *FileStore) Close() error { return s.f.Close() }
 
 func decode(buf []byte, count, dims int, data *Data) {
+	data.Release()
 	data.dims = dims
-	if !data.owned || cap(data.IDs) < count {
-		data.IDs = make([]descriptor.ID, count)
+	if cap(data.ownIDs) < count {
+		data.ownIDs = make([]descriptor.ID, count)
 	}
-	data.IDs = data.IDs[:count]
-	if !data.owned || cap(data.Vecs) < count*dims {
-		data.Vecs = make([]float32, count*dims)
+	data.ownIDs = data.ownIDs[:count]
+	if cap(data.ownVecs) < count*dims {
+		data.ownVecs = make([]float32, count*dims)
 	}
-	data.Vecs = data.Vecs[:count*dims]
-	data.owned = true
+	data.ownVecs = data.ownVecs[:count*dims]
+	data.IDs = data.ownIDs
+	data.Vecs = data.ownVecs
 	descriptor.DecodeRecords(buf, count, dims, data.IDs, data.Vecs)
 }
 
@@ -480,10 +533,7 @@ func (s *MemStore) ReadChunk(i int, data *Data) error {
 	if i < 0 || i >= len(s.metas) {
 		return ErrChunkOOB
 	}
-	data.dims = s.dims
-	data.IDs = s.ids[i]
-	data.Vecs = s.vecs[i]
-	data.owned = false
+	data.Alias(s.ids[i], s.vecs[i], s.dims, nil)
 	return nil
 }
 

@@ -486,7 +486,7 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 		// itself, so the single-machine path is unchanged. A read served
 		// by retries or failover first charges the attempts' stall.
 		st.pipes[machine].Stall(stall)
-		elapsed := st.pipes[machine].Chunk(m.Bytes, m.Count)
+		elapsed := st.pipes[machine].ChunkAt(chunk, m.Bytes, m.Count)
 		if elapsed < res.Elapsed {
 			elapsed = res.Elapsed
 		}

@@ -313,7 +313,7 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 		sc.pipe.Stall(sc.data.Stall)
 		sc.data.Stall = 0
 		sc.d2 = ScanChunk(q, dims, &sc.data, heap, sc.d2)
-		elapsed := sc.pipe.Chunk(m.Bytes, m.Count)
+		elapsed := sc.pipe.ChunkAt(rc.Idx, m.Bytes, m.Count)
 		res.ChunksRead++
 		res.Elapsed = elapsed
 

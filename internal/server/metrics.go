@@ -177,13 +177,25 @@ type ShardState struct {
 	Down  bool `json:"down"`
 }
 
+// CacheSnapshot is one index's decoded-chunk cache counters in a
+// Snapshot, present only for indexes opened with a cache.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Entries   int   `json:"entries"`
+}
+
 // IndexSnapshot is one registered index's state in a Snapshot.
 type IndexSnapshot struct {
-	Name        string       `json:"name"`
-	Chunks      int          `json:"chunks"`
-	Descriptors int          `json:"descriptors"`
-	Shards      []ShardState `json:"shards,omitempty"`
-	ShardsDown  int          `json:"shards_down"`
+	Name        string         `json:"name"`
+	Chunks      int            `json:"chunks"`
+	Descriptors int            `json:"descriptors"`
+	Shards      []ShardState   `json:"shards,omitempty"`
+	ShardsDown  int            `json:"shards_down"`
+	Cache       *CacheSnapshot `json:"cache,omitempty"`
 }
 
 // Snapshot is the JSON document served by GET /metrics.
@@ -254,6 +266,18 @@ func (m *Metrics) Snapshot(inFlight int, reg *Registry) Snapshot {
 				is.ShardsDown = sh.ShardsDown()
 				for s := 0; s < sh.Shards(); s++ {
 					is.Shards = append(is.Shards, ShardState{Shard: s, Down: sh.ShardDown(s)})
+				}
+			}
+			if cs, ok := b.(CacheStatser); ok {
+				if st := cs.CacheStats(); st.Enabled {
+					is.Cache = &CacheSnapshot{
+						Hits:      st.Hits,
+						Misses:    st.Misses,
+						Evictions: st.Evictions,
+						Bytes:     st.Bytes,
+						MaxBytes:  st.MaxBytes,
+						Entries:   st.Entries,
+					}
 				}
 			}
 			snap.Indexes = append(snap.Indexes, is)

@@ -59,6 +59,16 @@ type ShardHealth interface {
 	ProbeShard(s int) error
 }
 
+// CacheStatser is the optional cache surface of a backend: indexes
+// opened with a decoded-chunk cache report its counters through it, and
+// the metrics endpoint includes them when present. Both *repro.Index and
+// *repro.ShardedIndex satisfy it structurally; a cacheless index reports
+// Enabled false and is omitted from the snapshot.
+type CacheStatser interface {
+	// CacheStats returns the cumulative decoded-chunk cache counters.
+	CacheStats() repro.CacheStats
+}
+
 // Registry is the server's set of named open indexes. It is safe for
 // concurrent use; registration normally happens at startup, lookups on
 // every request.

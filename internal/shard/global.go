@@ -248,7 +248,7 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 		pipes[s].Stall(sc.data.Stall)
 		sc.data.Stall = 0
 		sc.d2 = search.ScanChunk(q, r.dims, &sc.data, heap, sc.d2)
-		elapsed := pipes[s].Chunk(m.Bytes, m.Count)
+		elapsed := pipes[s].ChunkAt(rc.Idx, m.Bytes, m.Count)
 		if elapsed < res.Elapsed {
 			elapsed = res.Elapsed
 		}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chunkcache"
 	"repro/internal/chunkfile"
 	"repro/internal/knn"
 	"repro/internal/multiquery"
@@ -88,11 +89,19 @@ type Result struct {
 }
 
 // routedShard is one shard's serving stack: the physical store, the
-// logical view the queries actually run over (the primary prefix of the
-// physical store, with every read routed through the router's replicated
-// read path), and the two execution paths over that view.
+// data-plane store reads actually go through (the physical store behind a
+// decoded-chunk cache when one is configured), the logical view the
+// queries run over (the primary prefix of the physical store, with every
+// read routed through the router's replicated read path), and the two
+// execution paths over that view.
 type routedShard struct {
-	store    chunkfile.Store
+	store chunkfile.Store
+	// read is the store attemptRead serves from: cached wraps store when
+	// a cache is configured, else read == store. Control-plane reads
+	// (ProbeShard) always go to the raw store, so probing observes the
+	// disk, not the cache.
+	read     chunkfile.Store
+	cached   *chunkcache.CachingStore // non-nil iff caching is on; == read then
 	view     *shardView
 	searcher *search.Searcher
 	engine   *batchexec.Engine
@@ -164,9 +173,29 @@ type Router struct {
 	// over it, configured per run with the chunk→shard machine mapping.
 	gstore  *globalStore
 	gengine *batchexec.Engine
+	// caches holds the distinct decoded-chunk caches behind the shards'
+	// read stores: one shared cache in the global discipline, one per
+	// shard in the per-shard discipline, empty when caching is off.
+	caches  []*chunkcache.Cache
 	scratch sync.Pool // *scatter
 	gpool   sync.Pool // *gscratch: global single-query state
 	mq      sync.Pool // *[]search.Result: multi-descriptor result arena
+}
+
+// CacheConfig configures the router's decoded-chunk cache (see
+// internal/chunkcache). The zero value disables caching; a disabled
+// cache changes nothing — results, simulated times, and counters are
+// byte-identical with or without it.
+type CacheConfig struct {
+	// Bytes is the cache budget in bytes of decoded rows. In the shared
+	// discipline (PerShard false) one cache of Bytes fronts every shard's
+	// store — the budget is global, hot shards win it. Zero disables
+	// caching.
+	Bytes int64
+	// PerShard gives every shard its own independent cache of Bytes
+	// instead — the discipline matching the cost model's one-machine-per-
+	// shard story, where each machine's RAM is its own.
+	PerShard bool
 }
 
 // scatter is the pooled per-call state of one scatter-gather: the
@@ -185,6 +214,12 @@ type scatter struct {
 // no replica and queries over it degrade. A nil model selects the
 // calibrated 2005 model for every shard's machine.
 func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) {
+	return NewRouterCached(stores, model, CacheConfig{})
+}
+
+// NewRouterCached is NewRouter with a decoded-chunk cache in front of the
+// shards' stores, per the cache configuration.
+func NewRouterCached(stores []chunkfile.Store, model *simdisk.Model, cache CacheConfig) (*Router, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no stores")
 	}
@@ -197,7 +232,7 @@ func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) 
 		p.NumPrimary[s] = len(st.Meta())
 		p.Replicas[s] = make([][]ChunkLoc, len(st.Meta()))
 	}
-	return NewReplicatedRouter(stores, p, model)
+	return NewReplicatedRouterCached(stores, p, model, cache)
 }
 
 // NewReplicatedRouter builds a Router over one physical store per shard
@@ -206,6 +241,14 @@ func NewRouter(stores []chunkfile.Store, model *simdisk.Model) (*Router, error) 
 // Queries run over the logical views; replicas serve failovers. A nil
 // model selects the calibrated 2005 model for every shard's machine.
 func NewReplicatedRouter(stores []chunkfile.Store, placement *Placement, model *simdisk.Model) (*Router, error) {
+	return NewReplicatedRouterCached(stores, placement, model, CacheConfig{})
+}
+
+// NewReplicatedRouterCached is NewReplicatedRouter with a decoded-chunk
+// cache in front of the shards' physical stores, per the cache
+// configuration. The cache serves the replicated read path only; probes
+// and direct Store(i) access always observe the disk.
+func NewReplicatedRouterCached(stores []chunkfile.Store, placement *Placement, model *simdisk.Model, cache CacheConfig) (*Router, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no stores")
 	}
@@ -223,7 +266,23 @@ func NewReplicatedRouter(stores []chunkfile.Store, placement *Placement, model *
 		if st.Dims() != dims {
 			return nil, fmt.Errorf("shard: shard %d dims %d != shard 0 dims %d", i, st.Dims(), dims)
 		}
-		r.shards = append(r.shards, routedShard{store: st})
+		r.shards = append(r.shards, routedShard{store: st, read: st})
+	}
+	if cache.Bytes > 0 {
+		var shared *chunkcache.Cache
+		if !cache.PerShard {
+			shared = chunkcache.New(cache.Bytes)
+			r.caches = append(r.caches, shared)
+		}
+		for i := range r.shards {
+			c := shared
+			if cache.PerShard {
+				c = chunkcache.New(cache.Bytes)
+				r.caches = append(r.caches, c)
+			}
+			r.shards[i].cached = chunkcache.NewStore(r.shards[i].store, c)
+			r.shards[i].read = r.shards[i].cached
+		}
 	}
 	for i := range r.shards {
 		sh := &r.shards[i]
@@ -336,6 +395,11 @@ func (r *Router) DownShards() int { return int(r.downCount.Load()) }
 func (r *Router) MarkShardUp(s int) {
 	if r.down[s].Swap(false) {
 		r.downCount.Add(-1)
+		// The disk behind the shard may have been replaced while it was
+		// down: drop its cached rows so recovery never serves stale data.
+		if c := r.shards[s].cached; c != nil {
+			c.Invalidate()
+		}
 	}
 }
 
@@ -371,7 +435,36 @@ func (r *Router) ResetHealth() {
 			r.downCount.Add(-1)
 		}
 		r.loads[s].Store(0)
+		if c := r.shards[s].cached; c != nil {
+			c.Invalidate()
+		}
 	}
+}
+
+// CacheStats aggregates the decoded-chunk cache counters across the
+// shards' read stores: hits and misses summed over the shards, occupancy
+// and budget summed over the distinct caches behind them (one shared
+// cache appears once, not once per shard). Enabled is false — and every
+// counter zero — when the router was built without a cache.
+func (r *Router) CacheStats() chunkcache.Stats {
+	var st chunkcache.Stats
+	if len(r.caches) == 0 {
+		return st
+	}
+	st.Enabled = true
+	for _, c := range r.caches {
+		cs := c.Stats()
+		st.Evictions += cs.Evictions
+		st.Bytes += cs.Bytes
+		st.MaxBytes += cs.MaxBytes
+		st.Entries += cs.Entries
+	}
+	for i := range r.shards {
+		ss := r.shards[i].cached.Stats()
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+	}
+	return st
 }
 
 // Retry policy of the replicated read path: on a transient error
@@ -459,10 +552,12 @@ func (r *Router) readChunk(s, i int, data *chunkfile.Data) error {
 // policy, accumulating the simulated cost of failed attempts into stall.
 // A permanent failure marks the shard down; exhausted transient retries
 // leave the shard up (the next read will try it afresh) and make the
-// caller fail over.
+// caller fail over. The read goes through the shard's read store — the
+// decoded-chunk cache when one is configured — so a cached chunk is
+// served without consulting the physical store at all.
 func (r *Router) attemptRead(cs, ci int, data *chunkfile.Data, stall *time.Duration) error {
-	st := r.shards[cs].store
-	bytes := st.Meta()[ci].Bytes
+	st := r.shards[cs].read
+	bytes := r.shards[cs].store.Meta()[ci].Bytes
 	var err error
 	for attempt := 0; attempt < readAttempts; attempt++ {
 		if err = st.ReadChunk(ci, data); err == nil {
@@ -480,11 +575,12 @@ func (r *Router) attemptRead(cs, ci int, data *chunkfile.Data, stall *time.Durat
 	return err
 }
 
-// Close closes every shard's store.
+// Close closes every shard's store (through its cache wrapper when one
+// is configured, dropping the cached rows).
 func (r *Router) Close() error {
 	var errs []error
 	for i := range r.shards {
-		if err := r.shards[i].store.Close(); err != nil {
+		if err := r.shards[i].read.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
 		}
 	}

@@ -1,0 +1,113 @@
+package simdisk
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChunkAtNoTierEqualsChunk pins that without a tier ChunkAt is
+// byte-identical to Chunk in both pipeline modes.
+func TestChunkAtNoTierEqualsChunk(t *testing.T) {
+	for _, overlap := range []bool{false, true} {
+		m := Default2005()
+		a := NewPipeline(m, overlap, time.Millisecond)
+		b := NewPipeline(m, overlap, time.Millisecond)
+		for i := 0; i < 10; i++ {
+			ea := a.Chunk(8192*(i+1), 100*(i+1))
+			eb := b.ChunkAt(i, 8192*(i+1), 100*(i+1))
+			if ea != eb {
+				t.Fatalf("overlap=%v chunk %d: Chunk %v != ChunkAt %v", overlap, i, ea, eb)
+			}
+		}
+	}
+}
+
+// TestChunkAtResidentChargesCPUOnly pins the tier's charging rule: a
+// resident chunk advances the clock by exactly the CPU scan, with the
+// I/O stream untouched in overlapped mode.
+func TestChunkAtResidentChargesCPUOnly(t *testing.T) {
+	for _, overlap := range []bool{false, true} {
+		m := Default2005()
+		tier := NewCacheTier(4)
+		m.Cache = tier
+		tier.resident[2] = true
+
+		p := NewPipeline(m, overlap, 0)
+		p.ChunkAt(0, 8192, 100) // miss: disk charged
+		before := p.Elapsed()
+		elapsed := p.ChunkAt(2, 8192, 100) // resident: CPU only
+		want := before + m.CPUTime(100)
+		if elapsed != want {
+			t.Fatalf("overlap=%v resident charge: elapsed %v, want %v", overlap, elapsed, want)
+		}
+		if tier.Hits() != 1 || tier.Misses() != 1 {
+			t.Fatalf("overlap=%v: hits=%d misses=%d", overlap, tier.Hits(), tier.Misses())
+		}
+	}
+}
+
+// TestChunkAtResidentOverlapKeepsIOStream pins that in overlapped mode a
+// resident chunk does not consume read-stream time: a following
+// non-resident chunk still overlaps its transfer with the accumulated
+// CPU work, exactly as if the resident chunk had not existed on disk.
+func TestChunkAtResidentOverlapKeepsIOStream(t *testing.T) {
+	m := Default2005()
+	tier := NewCacheTier(3)
+	m.Cache = tier
+	tier.resident[1] = true
+
+	// Reference: the same sequence with the resident chunk scanned for
+	// free I/O-wise — pipeline without the middle chunk's read.
+	ref := NewPipeline(&Model{Seek: m.Seek, TransferRate: m.TransferRate, DistanceCost: m.DistanceCost,
+		IndexOverhead: m.IndexOverhead, SortEntryCost: m.SortEntryCost}, true, 0)
+	ref.Chunk(8192, 100)
+	refMid := ref.Elapsed() + m.CPUTime(50) // CPU-only advance
+	ref.cpuDone = refMid
+	refEnd := ref.Chunk(8192, 100)
+
+	p := NewPipeline(m, true, 0)
+	p.ChunkAt(0, 8192, 100)
+	mid := p.ChunkAt(1, 8192, 50)
+	if mid != refMid {
+		t.Fatalf("resident chunk elapsed %v, want %v", mid, refMid)
+	}
+	end := p.ChunkAt(2, 8192, 100)
+	if end != refEnd {
+		t.Fatalf("post-resident chunk elapsed %v, want %v", end, refEnd)
+	}
+}
+
+// TestSetResidentTopFraction pins the deterministic top-N%-by-count
+// promotion with ties broken by ascending index.
+func TestSetResidentTopFraction(t *testing.T) {
+	tier := NewCacheTier(10)
+	m := Default2005()
+	m.Cache = tier
+	p := NewPipeline(m, false, 0)
+	touch := func(i, n int) {
+		for k := 0; k < n; k++ {
+			p.ChunkAt(i, 1024, 1)
+		}
+	}
+	touch(7, 5)
+	touch(3, 5)
+	touch(1, 2)
+
+	if got := tier.SetResidentTopFraction(0.2); got != 2 {
+		t.Fatalf("resident count = %d, want 2", got)
+	}
+	// Ties between chunks 3 and 7 (5 touches each) fall to the lower
+	// index first; at 20% both fit.
+	if !tier.Resident(3) || !tier.Resident(7) {
+		t.Fatal("hottest chunks 3 and 7 not resident")
+	}
+	if got := tier.SetResidentTopFraction(0.1); got != 1 {
+		t.Fatalf("resident count = %d, want 1", got)
+	}
+	if !tier.Resident(3) || tier.Resident(7) {
+		t.Fatal("tie at 10% must keep the lower index (3)")
+	}
+	if tier.SetResidentTopFraction(0) != 0 || tier.ResidentCount() != 0 {
+		t.Fatal("fraction 0 must clear residency")
+	}
+}

@@ -133,6 +133,10 @@ type BuildConfig struct {
 	MaxPasses int
 	// Progress receives BAG pass updates when non-nil.
 	Progress func(pass, clusters int)
+	// CacheBytes, when positive, fronts the built index's store with a
+	// decoded-chunk cache of that many bytes (see OpenConfig.CacheBytes
+	// for the contract). Zero builds without a cache.
+	CacheBytes int64
 }
 
 // Index is a searchable chunk index plus its build provenance.
@@ -145,6 +149,7 @@ type Index struct {
 	batchPool sync.Pool // *[]search.Result: SearchBatchInto's internal arena
 
 	pageSize int                // page granularity the store was padded with
+	cached   *cachingStore      // non-nil when the index was built/opened with a cache
 	coll     *Collection        // nil for file-opened indexes
 	clusters []*cluster.Cluster // nil for file-opened indexes
 
@@ -235,9 +240,10 @@ func Build(coll *Collection, cfg BuildConfig) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := chunkfile.NewMemStore(coll, clusters, cfg.PageSize)
+	store, cached := wrapCache(chunkfile.NewMemStore(coll, clusters, cfg.PageSize), cfg.CacheBytes)
 	ix := newIndex(store)
 	ix.pageSize = normalizePageSize(cfg.PageSize)
+	ix.cached = cached
 	ix.coll = coll
 	ix.clusters = clusters
 	ix.Outliers = outliers
@@ -257,13 +263,7 @@ func (ix *Index) Save(chunkPath, indexPath string) error {
 
 // Open maps an index previously written by Save.
 func Open(chunkPath, indexPath string) (*Index, error) {
-	st, err := chunkfile.Open(chunkPath, indexPath)
-	if err != nil {
-		return nil, err
-	}
-	ix := newIndex(st)
-	ix.pageSize = st.PageSize()
-	return ix, nil
+	return OpenWith(chunkPath, indexPath, OpenConfig{})
 }
 
 // Close releases the index's resources.

@@ -105,7 +105,7 @@ func BuildReplicated(coll *Collection, cfg BuildConfig, shards, replication int,
 		parts[s] = shard.Select(clusters, idxs)
 		stores[s] = chunkfile.NewMemStore(coll, parts[s], pageSize)
 	}
-	router, err := shard.NewReplicatedRouter(stores, placement, nil)
+	router, err := shard.NewReplicatedRouterCached(stores, placement, nil, shard.CacheConfig{Bytes: cfg.CacheBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -136,10 +136,12 @@ func (sx *ShardedIndex) Save(dir string) error {
 	return nil
 }
 
-// OpenSharded maps a sharded index directory previously written by
+// openSharded maps a sharded index directory previously written by
 // ShardedIndex.Save, restoring the replica placement when the index was
-// built with replication.
-func OpenSharded(dir string) (*ShardedIndex, error) {
+// built with replication and fronting the stores with one shared
+// decoded-chunk cache when cfg asks for one. The exported entry points
+// are OpenSharded and OpenShardedWith in cache.go.
+func openSharded(dir string, cfg OpenConfig) (*ShardedIndex, error) {
 	stores, manifest, err := chunkfile.OpenSharded(dir)
 	if err != nil {
 		return nil, err
@@ -164,11 +166,12 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 		closeAll()
 		return nil, fmt.Errorf("repro: stat placement file: %w", serr)
 	}
+	cache := shard.CacheConfig{Bytes: cfg.CacheBytes}
 	var router *shard.Router
 	if placement != nil {
-		router, err = shard.NewReplicatedRouter(shardStores, placement, nil)
+		router, err = shard.NewReplicatedRouterCached(shardStores, placement, nil, cache)
 	} else {
-		router, err = shard.NewRouter(shardStores, nil)
+		router, err = shard.NewRouterCached(shardStores, nil, cache)
 	}
 	if err != nil {
 		closeAll()
