@@ -19,10 +19,12 @@ type BatchOptions struct {
 
 // SearchBatchInto runs every query through the chunk-major batch engine,
 // writing the outcome of queries[qi] into results[qi]. Instead of one
-// independent search per query, the engine executes the batch in rounds:
-// each chunk wanted by at least one unfinished query is read and decoded
-// once per round and scanned against all of its queries while its
-// descriptors are hot in cache. Results are byte-identical to per-query
+// independent search per query, the engine runs an asynchronous per-chunk
+// work queue: each chunk wanted by at least one unfinished query is read
+// and decoded once and scanned against all of its current subscribers
+// while its descriptors are hot in cache, with no barrier between chunks
+// — a slow decode only delays the queries that want that chunk. Results
+// are byte-identical to per-query
 // Search calls — each query still consumes chunks in its own rank order,
 // applies its stop rule after every chunk, and owns its simulated
 // pipeline, so Simulated remains a per-query time (one modeled 2005
@@ -83,6 +85,68 @@ func (ix *Index) SearchBatchInto(queries []Vector, opts BatchOptions, results []
 			Exact:      sr.Exact,
 		}
 		srs[i] = search.Result{} // do not retain caller slices in the pool
+	}
+	return nil
+}
+
+// SearchBatchStream runs the batch like SearchBatchInto and streams
+// per-query completions: done(qi) fires exactly once per query, the
+// moment the engine retires it with results[qi] fully written — long
+// before the batch returns while other queries still run. Callbacks for
+// distinct queries may fire concurrently (they run on the engine's scan
+// workers), so done must be safe for concurrent use and must not block;
+// hand slow consumers a channel. On error, queries whose callback
+// already fired retain valid results; all others are invalid. A nil done
+// degenerates to SearchBatchInto.
+func (ix *Index) SearchBatchStream(queries []Vector, opts BatchOptions, results []Result, done func(query int)) error {
+	if done == nil {
+		return ix.SearchBatchInto(queries, opts, results)
+	}
+	if err := opts.SearchOptions.validate(); err != nil {
+		return err
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	sp := ix.batchPool.Get().(*[]search.Result)
+	defer ix.batchPool.Put(sp)
+	if cap(*sp) < len(queries) {
+		*sp = make([]search.Result, len(queries))
+	}
+	srs := (*sp)[:len(queries)]
+	for i := range results {
+		srs[i] = search.Result{Neighbors: results[i].Neighbors[:0]}
+	}
+	err := ix.engine.RunStream(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopRule(opts.SearchOptions),
+		Model:       opts.Model,
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
+	}, srs, func(qi int) {
+		sr := &srs[qi]
+		results[qi] = Result{
+			Neighbors:  sr.Neighbors,
+			ChunksRead: sr.ChunksRead,
+			Simulated:  sr.Elapsed,
+			Wall:       sr.Wall,
+			Exact:      sr.Exact,
+		}
+		done(qi)
+	})
+	for i := range srs {
+		srs[i] = search.Result{} // do not retain caller slices in the pool
+	}
+	if err != nil {
+		var qe *batchexec.QueryError
+		if errors.As(err, &qe) {
+			return fmt.Errorf("repro: batch query %d: %w", qe.Query, qe.Err)
+		}
+		return fmt.Errorf("repro: %w", err)
 	}
 	return nil
 }

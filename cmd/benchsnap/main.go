@@ -25,9 +25,16 @@
 // quality/time residency curve — simulated ms/query with the 0%, 10%,
 // and 25% hottest chunks RAM-resident via simdisk.CacheTier.
 //
+// Schema 6 adds the batch-scheduler comparison — the same Zipf budget-5
+// batch over the file-backed store run under the asynchronous per-chunk
+// work queue and under the retained lockstep round-barrier baseline
+// (byte-identical results, wall time only) — and a per-backend GB/s
+// column for the query-pair shape of the multi kernel (2 queries per
+// call, the shape the AVX2 pair kernel packs into one register).
+//
 // Usage:
 //
-//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_8.json]
+//	benchsnap [-n 12000] [-chunk 300] [-k 30] [-seed 42] [-shards 4] [-out BENCH_9.json]
 package main
 
 import (
@@ -46,6 +53,9 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chunkfile"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
 	"repro/internal/server"
 	"repro/internal/simdisk"
 	"repro/internal/vec"
@@ -127,10 +137,13 @@ func withQuality(m measurement, results []repro.Result, truths [][]repro.Neighbo
 // kernelThroughput is one backend's distance-kernel bandwidth: descriptor
 // bytes streamed per second through the two scan kernels (dims=24,
 // 4096-row backing for the single-query kernel, 16 queries × 256-row
-// blocks — the batch engine's shape — for the multi kernel).
+// blocks — the batch engine's shape — for the multi kernel) plus the
+// query-pair shape of the multi kernel (2 queries per call — the shape
+// the AVX2 pair kernel serves from one 256-bit register).
 type kernelThroughput struct {
-	SquaredDistancesToGBps    float64 `json:"squared_distances_to_gbps"`
-	SquaredDistancesMultiGBps float64 `json:"squared_distances_multi_gbps"`
+	SquaredDistancesToGBps        float64 `json:"squared_distances_to_gbps"`
+	SquaredDistancesMultiGBps     float64 `json:"squared_distances_multi_gbps"`
+	SquaredDistancesMultiPairGBps float64 `json:"squared_distances_multi_pair_gbps"`
 }
 
 type snapshot struct {
@@ -194,6 +207,9 @@ func kernelSnapshots() map[string]kernelThroughput {
 			SquaredDistancesMultiGBps: gbps(nq*mrows*dims*4, func() {
 				vec.SquaredDistancesMulti(queries, backing[:mrows*dims], dims, out)
 			}),
+			SquaredDistancesMultiPairGBps: gbps(2*rows*dims*4, func() {
+				vec.SquaredDistancesMulti(queries[:2*dims], backing, dims, out[:2*rows])
+			}),
 		}
 	}
 	return kernels
@@ -215,7 +231,7 @@ func main() {
 	k := flag.Int("k", 30, "neighbors per query")
 	seed := flag.Int64("seed", 42, "generator seed")
 	shards := flag.Int("shards", 4, "shard count for the sharded benchmarks")
-	out := flag.String("out", "BENCH_8.json", "output path")
+	out := flag.String("out", "BENCH_9.json", "output path")
 	flag.Parse()
 
 	coll := repro.GenerateCollection(*n, *seed)
@@ -239,7 +255,7 @@ func main() {
 	}
 
 	snap := snapshot{
-		Schema:      5,
+		Schema:      6,
 		CreatedUnix: time.Now().Unix(),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
@@ -622,6 +638,55 @@ func main() {
 	snap.Benchmarks["zipf_budget5_file_uncached_200q"] = fileBench(repro.OpenConfig{})
 	snap.Benchmarks["zipf_budget5_file_cached_200q"] = fileBench(repro.OpenConfig{CacheBytes: 256 << 20})
 
+	// Batch-scheduler rows (schema 6): the same Zipf budget-5 batch over
+	// the file-backed store, run through the internal engine under the
+	// asynchronous per-chunk work queue and the lockstep round-barrier
+	// baseline. Results are byte-identical (pinned by tests); the rows
+	// record what removing the round barrier is worth in wall time when
+	// chunk decodes have real latency.
+	schedStore, err := chunkfile.Open(cp, ip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap: scheduler open:", err)
+		os.Exit(1)
+	}
+	defer schedStore.Close()
+	schedEng := batchexec.New(schedStore, nil)
+	schedBench := func(sched batchexec.Scheduler) measurement {
+		results := make([]search.Result, len(zipfQueries))
+		run := func() error {
+			return schedEng.Run(zipfQueries, batchexec.Options{
+				K:         *k,
+				Stop:      search.ChunkBudget(5),
+				Overlap:   true,
+				Scheduler: sched,
+			}, results)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m := toMeasurement(r)
+		m.OpsPerSec *= float64(len(zipfQueries))
+		var simMs, chunks float64
+		for i := range results {
+			simMs += results[i].Elapsed.Seconds() * 1e3
+			chunks += float64(results[i].ChunksRead)
+		}
+		m.SimMsPerQuery = simMs / float64(len(results))
+		m.ChunksPerQuery = chunks / float64(len(results))
+		return m
+	}
+	snap.Benchmarks["zipf_budget5_file_sched_async_200q"] = schedBench(batchexec.SchedulerAsync)
+	snap.Benchmarks["zipf_budget5_file_sched_lockstep_200q"] = schedBench(batchexec.SchedulerLockstep)
+
 	// Then the modeled residency curve: the 2005 machine with the top-N%
 	// hottest chunks RAM-resident (simdisk.CacheTier), same workload. The
 	// 0% row is the baseline and doubles as the access-profiling pass that
@@ -664,8 +729,8 @@ func main() {
 	sort.Strings(kNames)
 	for _, name := range kNames {
 		kt := snap.Kernels[name]
-		fmt.Printf("  kernel %-10s %6.2f GB/s dists-to  %6.2f GB/s dists-multi\n",
-			name, kt.SquaredDistancesToGBps, kt.SquaredDistancesMultiGBps)
+		fmt.Printf("  kernel %-10s %6.2f GB/s dists-to  %6.2f GB/s dists-multi  %6.2f GB/s dists-multi-pair\n",
+			name, kt.SquaredDistancesToGBps, kt.SquaredDistancesMultiGBps, kt.SquaredDistancesMultiPairGBps)
 	}
 	names := make([]string, 0, len(snap.Benchmarks))
 	for name := range snap.Benchmarks {

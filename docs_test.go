@@ -127,9 +127,10 @@ func TestDocsIdentifiersExist(t *testing.T) {
 
 // TestDocsGodocCoverage is the docs gate half two: every exported
 // identifier of the facade files (repro.go, sharded.go, batch.go,
-// cache.go) and of internal/shard, internal/server, and
-// internal/chunkcache carries a doc comment, so the cost-model and
-// ownership contracts stay stated at the declaration.
+// cache.go) and of internal/shard, internal/server,
+// internal/chunkcache, and internal/search/batchexec carries a doc
+// comment, so the cost-model and ownership contracts stay stated at
+// the declaration.
 func TestDocsGodocCoverage(t *testing.T) {
 	check := func(label string, decls map[string]bool) {
 		for name, hasDoc := range decls {
@@ -145,4 +146,5 @@ func TestDocsGodocCoverage(t *testing.T) {
 	check("internal/shard", exportedDecls(parseDir(t, filepath.Join("internal", "shard")), nil))
 	check("internal/server", exportedDecls(parseDir(t, filepath.Join("internal", "server")), nil))
 	check("internal/chunkcache", exportedDecls(parseDir(t, filepath.Join("internal", "chunkcache")), nil))
+	check("internal/search/batchexec", exportedDecls(parseDir(t, filepath.Join("internal", "search", "batchexec")), nil))
 }

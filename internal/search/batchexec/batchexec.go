@@ -5,38 +5,61 @@
 // ranks the chunks, then reads and scans them in its own rank order. Run
 // naively over a workload, the same chunk is read, decoded and streamed
 // through the cache once per query that wants it. This engine inverts
-// the loops: queries are executed in lockstep rounds, and within a round
-// every chunk wanted by at least one live query is read and decoded
-// exactly once, then scanned against all of its wanting queries back to
-// back while its descriptors are hot in cache (the filling-heap queries
-// share one vec.SquaredDistancesMulti kernel call per row block; the
-// full-heap queries run partial-distance early abandonment, exactly as
-// the single-query path would).
+// the loops chunk-major: every distinct chunk wanted by at least one
+// live query becomes a decode task, read and decoded once per subscriber
+// wave, then scanned against all of its subscribers back to back while
+// its descriptors are hot in cache (the filling-heap queries share one
+// vec.SquaredDistancesMulti kernel call per row block; on SIMD backends
+// the full-heap queries fold into the same call — see scanGroup).
 //
-// Per-query semantics are preserved bit for bit, and the equivalence
-// tests pin it:
+// Two schedulers drive the inverted loop (Options.Scheduler):
 //
-//   - Each query processes chunks in its own rank order (RankChunks), one
-//     chunk per round, so neighbor sets, ChunksRead and the Exact flag
-//     match the single-query path exactly.
+//   - The asynchronous work queue (the default). Each query subscribes to
+//     the one chunk its rank order wants next; a chunk's task is queued
+//     when it gains its first subscriber, and a worker that pops it scans
+//     the chunk for every subscriber of that wave, charges each
+//     subscriber's own pipeline, applies its stop rule immediately, and
+//     either retires the query (streaming its completion, see RunStream)
+//     or subscribes it to its next chunk. No barrier exists anywhere:
+//     a query's progress is never gated on chunks it does not want, so a
+//     straggler chunk delays exactly its own subscribers.
+//   - The lockstep round scheduler (SchedulerLockstep), the engine's
+//     original design, retained as the measurable baseline: all live
+//     queries advance one chunk per round, each round's distinct chunks
+//     are scanned concurrently, and a round barrier joins the workers
+//     before the next round starts. Fast queries idle at every barrier
+//     while the round's straggler chunk finishes — the response-time
+//     variability the asynchronous scheduler removes.
+//
+// Per-query semantics are preserved bit for bit under both schedulers,
+// and the equivalence tests pin it:
+//
+//   - Each query processes chunks in its own rank order (RankChunks), so
+//     neighbor sets, ChunksRead and the Exact flag match the single-query
+//     path exactly.
 //   - Simulated timing is per query: every query owns a simdisk.Pipeline
 //     charged with exactly the chunks it consumed, in its rank order.
 //     Batch code must never share or wall-aggregate simulated time — the
-//     model is one 2005 machine per query. When Options.Shards maps the
-//     store's chunks onto several simulated machines (the shard router's
-//     global-budget mode), a query owns one pipeline per machine instead,
-//     each seeded with that machine's own index-read time; chunks are
-//     charged to their owning machine and the query's Elapsed is the max
-//     over its machines, which run in parallel.
+//     model is one 2005 machine per query. Because each query's charges
+//     land on its own pipeline in its own rank order, the simulated
+//     clocks are independent of *when* the scheduler processes a chunk;
+//     reordering execution moves wall time only, never results. When
+//     Options.Shards maps the store's chunks onto several simulated
+//     machines (the shard router's global-budget mode), a query owns one
+//     pipeline per machine instead, each seeded with that machine's own
+//     index-read time; chunks are charged to their owning machine and the
+//     query's Elapsed is the max over its machines, which run in
+//     parallel.
 //
 // All per-query state (ranked order cursor, suffix bounds, knn.Heap,
 // pipeline) lives in a pooled batch-owned arena, and result neighbor
 // slices are recycled from the caller's results array, so a steady-state
-// batch performs zero allocations. Rounds fan groups out to a lazily
-// started process-wide worker pool (queries of one round are partitioned
-// by wanted chunk, so groups touch disjoint state); the coordinator
-// processes groups inline whenever the pool is saturated, which also
-// keeps Parallelism==1 runs free of any goroutine machinery.
+// batch performs zero allocations. Decode tasks fan out to a lazily
+// started process-wide worker pool; overflow beyond the run's
+// parallelism (or the pool's capacity) lands on a run-local ready list
+// drained by the run's own goroutines, which keeps Parallelism==1 runs
+// free of any goroutine machinery and rules out deadlock when concurrent
+// batches share the pool.
 package batchexec
 
 import (
@@ -56,9 +79,27 @@ import (
 	"repro/internal/vec"
 )
 
+// Scheduler selects the engine's execution strategy. Both schedulers
+// produce byte-identical results; they differ only in how wall time is
+// spent.
+type Scheduler int
+
+const (
+	// SchedulerAsync is the default: the asynchronous per-chunk work
+	// queue. Queries subscribe to chunks in their own rank order,
+	// completed queries stream out immediately, and no round barrier
+	// ever idles a fast query behind a slow chunk.
+	SchedulerAsync Scheduler = iota
+	// SchedulerLockstep is the original round-barrier scheduler, kept as
+	// the benchmark baseline: all live queries advance one chunk per
+	// round and a barrier joins the round's workers before the next
+	// round starts.
+	SchedulerLockstep
+)
+
 // Options configures one batch run. The zero value means k=30,
-// run-to-completion, the engine's model, serial pipeline, and one worker
-// per CPU.
+// run-to-completion, the engine's model, serial pipeline, the
+// asynchronous scheduler, and one worker per CPU.
 type Options struct {
 	K    int
 	Stop search.StopRule // must be stateless/concurrency-safe (the built-in rules are)
@@ -68,6 +109,10 @@ type Options struct {
 	// Parallelism caps the concurrency of this run: <=0 means GOMAXPROCS,
 	// 1 runs entirely on the calling goroutine.
 	Parallelism int
+	// Scheduler selects the execution strategy: the asynchronous
+	// per-chunk work queue (zero value) or the retained lockstep
+	// round-barrier baseline. Results are byte-identical either way.
+	Scheduler Scheduler
 	// Shards, when non-nil, maps every store chunk to the simulated
 	// machine serving it (len must equal the store's chunk count) and
 	// switches the cost model from one 2005 machine per query to one
@@ -89,11 +134,23 @@ type Options struct {
 	// trailing machines that hold no chunks but still pay their (empty)
 	// index read toward the max. Ignored when Shards is nil.
 	NumShards int
-	// Ctx, when non-nil, is consulted between rounds: once it is cancelled
-	// or past its deadline the run aborts — every live query stops within
-	// one chunk charge of the cancellation — and Run returns an error
-	// wrapping ctx.Err(). On abort no results are valid, exactly as on any
-	// other batch error. A nil Ctx never stops the run.
+	// Trace, when non-nil, receives one search.Event per (query,
+	// processed chunk), exactly as the single-query path's Options.Trace
+	// would deliver it: Ordinal is the chunk's 1-based position in the
+	// query's rank order, Elapsed the query's simulated time including
+	// that chunk, Neighbors the current k-NN set (reused between that
+	// query's events; do not retain). Events of one query arrive in its
+	// rank order; events of distinct queries may arrive concurrently, so
+	// the callback must be safe for concurrent use. Skipped (unavailable)
+	// chunks emit no event, matching the single-query path.
+	Trace func(query int, ev search.Event)
+	// Ctx, when non-nil, cancels the run: the asynchronous scheduler
+	// consults it before every chunk decode task (each live query stops
+	// within one chunk charge per pipeline of the cancellation), the
+	// lockstep scheduler between rounds. On abort the run returns an
+	// error wrapping ctx.Err(); results not already streamed through
+	// RunStream's callback are invalid, exactly as on any other batch
+	// error. A nil Ctx never stops the run.
 	Ctx context.Context
 }
 
@@ -103,6 +160,7 @@ type QueryError struct {
 	Err   error
 }
 
+// Error formats the failure with its query index.
 func (e *QueryError) Error() string { return fmt.Sprintf("batchexec: query %d: %v", e.Query, e.Err) }
 
 // Unwrap returns the underlying error.
@@ -129,6 +187,7 @@ func New(store chunkfile.Store, model *simdisk.Model) *Engine {
 
 // queryState is the per-query execution state for one batch run.
 type queryState struct {
+	qi     int32 // index of this query in the batch
 	q      vec.Vector
 	ranked []search.RankedChunk
 	suffix []float64
@@ -137,15 +196,16 @@ type queryState struct {
 	// machine when Options.Shards is nil). Chunks are charged to their
 	// owning machine; the query's Elapsed is the max over the machines.
 	pipes  []simdisk.Pipeline
-	cursor int // position in ranked of the next chunk this query wants
+	events []knn.Neighbor // trace scratch: current k-NN set per event
+	cursor int            // position in ranked of the next chunk this query wants
 	done   bool
 	res    *search.Result
 }
 
-// pair maps one live query to the chunk it wants this round. Rounds sort
-// pairs by (chunk, state): equal-chunk runs form the scan groups, and the
-// state tiebreak makes group membership (and error attribution)
-// deterministic.
+// pair maps one live query to the chunk it wants this round (lockstep
+// scheduler). Rounds sort pairs by (chunk, state): equal-chunk runs form
+// the scan groups, and the state tiebreak makes group membership (and
+// error attribution) deterministic.
 type pair struct {
 	chunk, state int32
 }
@@ -159,15 +219,16 @@ type group struct {
 // the kernel buffers. Workers own theirs for the life of the process; the
 // coordinator's lives in the arena.
 type workerScratch struct {
-	data  chunkfile.Data
-	d2    []float64 // single-query scan buffer (ScanChunk)
-	fill  []int32   // states of this group whose heap is still filling
-	qflat []float32 // gathered filling-heap queries, Q × dims
-	out   []float64 // SquaredDistancesMulti block output
+	data    chunkfile.Data
+	d2      []float64 // single-query scan buffer (ScanChunk)
+	members []int32   // lockstep: group membership extracted from pairs
+	fill    []int32   // states of this group scanned through the Multi kernel
+	qflat   []float32 // gathered Multi queries, Q × dims
+	out     []float64 // SquaredDistancesMulti block output
 }
 
 // arena is the pooled batch-owned state of one run: all query states plus
-// the round scheduling buffers. It doubles as the run context jobs carry
+// the scheduler's bookkeeping. It doubles as the run context jobs carry
 // to pool workers.
 type arena struct {
 	store chunkfile.Store
@@ -175,6 +236,7 @@ type arena struct {
 	dims  int
 	stop  search.StopRule
 	start time.Time
+	ctx   context.Context
 	// machines is the run's chunk→machine mapping (nil = one machine);
 	// inits holds each machine's index-read time, the initial value of
 	// every query's pipeline on that machine.
@@ -182,12 +244,26 @@ type arena struct {
 	inits    []time.Duration
 	counts   []int // per-machine chunk counts (index-read sizing scratch)
 
-	states   []queryState
-	live     []int32
+	onDone func(int)               // RunStream's completion callback (nil for Run)
+	trace  func(int, search.Event) // Options.Trace
+
+	states []queryState
+	live   []int32
+	coord  workerScratch
+
+	// Lockstep scheduler state.
 	nextLive []int32
 	pairs    []pair
 	groups   []group
-	coord    workerScratch
+
+	// Asynchronous scheduler state (async.go).
+	asyncMode   bool
+	tasks       []chunkTask
+	ready       []int32 // run-local overflow queue of chunk tasks
+	readyHead   int
+	readyMu     sync.Mutex
+	inflight    atomic.Int32 // decode tasks handed to the pool
+	maxInflight int32
 
 	wg       sync.WaitGroup
 	failed   atomic.Bool
@@ -197,7 +273,7 @@ type arena struct {
 }
 
 // fail records err for the given query, keeping the error of the lowest
-// query index when several groups fail in one round.
+// query index when several chunk tasks fail in flight.
 func (a *arena) fail(state int32, err error) {
 	a.failed.Store(true)
 	a.mu.Lock()
@@ -211,8 +287,23 @@ func (a *arena) fail(state int32, err error) {
 // results[qi]. The results array is caller-owned: neighbor slices already
 // present are reused when they have capacity, so recycling one results
 // array across batches (the steady-state serving pattern) performs zero
-// allocations. On error no results are valid.
+// allocations. On error no results are valid. Run is RunStream without a
+// completion stream.
 func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result) error {
+	return e.RunStream(queries, opts, results, nil)
+}
+
+// RunStream executes the batch like Run and additionally streams
+// per-query completions: done(qi), when non-nil, is invoked exactly once
+// per query, after results[qi] is fully written, at the moment the query
+// retires — long before the batch returns when other queries are still
+// running. Callbacks for distinct queries may fire concurrently (they
+// run on the scan workers), so done must be safe for concurrent use and
+// should not block; a slow consumer should hand off to its own channel.
+// When the run fails, queries whose callback already fired retain valid
+// results; all others are invalid. The stop-rule, cost-model and
+// byte-identity contracts are exactly Run's.
+func (e *Engine) RunStream(queries []vec.Vector, opts Options, results []search.Result, done func(query int)) error {
 	if len(queries) == 0 {
 		return nil
 	}
@@ -247,8 +338,12 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 	a.dims = dims
 	a.stop = opts.Stop
 	a.start = time.Now()
+	a.ctx = opts.Ctx
+	a.onDone = done
+	a.trace = opts.Trace
 	a.failed.Store(false)
 	a.err = nil
+	a.asyncMode = opts.Scheduler == SchedulerAsync
 
 	// Resolve the machine layout: one machine (the original model) unless
 	// a shard mapping splits the store across simulated machines, each
@@ -257,12 +352,12 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 	numMachines := 1
 	if a.machines != nil {
 		if len(a.machines) != len(a.metas) {
-			a.machines = nil
+			a.release()
 			return fmt.Errorf("batchexec: shards mapping length %d != chunk count %d", len(opts.Shards), len(a.metas))
 		}
 		for ci, m := range a.machines {
 			if m < 0 || (opts.NumShards > 0 && int(m) >= opts.NumShards) {
-				a.machines = nil
+				a.release()
 				return fmt.Errorf("batchexec: chunk %d mapped to machine %d outside [0,%d)", ci, m, opts.NumShards)
 			}
 			if int(m)+1 > numMachines {
@@ -315,6 +410,7 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 		res := &results[qi]
 		neighbors := res.Neighbors[:0]
 		*res = search.Result{Neighbors: neighbors, IndexRead: indexRead, Elapsed: indexRead}
+		st.qi = int32(qi)
 		st.q = queries[qi]
 		st.ranked = search.RankChunks(st.q, a.metas, st.ranked[:0])
 		st.suffix = search.SuffixBounds(st.ranked, st.suffix[:0])
@@ -341,15 +437,26 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 		}
 	}
 
-	// Rounds: each live query wants exactly one chunk (its cursor); group
-	// the round by chunk so every distinct chunk is read and decoded once
-	// and scanned against all of its queries while hot.
+	var err error
+	if a.asyncMode {
+		err = a.runAsync(workers)
+	} else {
+		err = a.runLockstep(workers)
+	}
+	a.release()
+	return err
+}
+
+// runLockstep is the round-barrier scheduler: each live query wants
+// exactly one chunk (its cursor); the round is grouped by chunk so every
+// distinct chunk is read and decoded once and scanned against all of its
+// queries while hot, and a barrier joins the round's workers before the
+// next round starts.
+func (a *arena) runLockstep(workers int) error {
 	for len(a.live) > 0 {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				qi := int(a.live[0])
-				a.release()
-				return &QueryError{Query: qi, Err: fmt.Errorf("canceled mid-batch: %w", err)}
+		if a.ctx != nil {
+			if err := a.ctx.Err(); err != nil {
+				return &QueryError{Query: int(a.live[0]), Err: fmt.Errorf("canceled mid-batch: %w", err)}
 			}
 		}
 		a.pairs = a.pairs[:0]
@@ -400,9 +507,7 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 			a.wg.Wait()
 		}
 		if a.failed.Load() {
-			err := &QueryError{Query: int(a.errState), Err: a.err}
-			a.release()
-			return err
+			return &QueryError{Query: int(a.errState), Err: a.err}
 		}
 
 		next := a.nextLive[:0]
@@ -413,28 +518,44 @@ func (e *Engine) Run(queries []vec.Vector, opts Options, results []search.Result
 		}
 		a.live, a.nextLive = next, a.live
 	}
-	a.release()
 	return nil
 }
 
 // release drops the arena's references into caller memory (queries,
-// results, and the shard mapping) so pooling the arena does not retain
-// them.
+// results, the shard mapping, and the run's callbacks) so pooling the
+// arena does not retain them.
 func (a *arena) release() {
 	for i := range a.states {
 		a.states[i].q = nil
 		a.states[i].res = nil
 	}
 	a.machines = nil
+	a.onDone = nil
+	a.trace = nil
+	a.ctx = nil
+	a.stop = nil
 }
 
-// processGroup reads and decodes the group's chunk once, scans it for
-// every member query, then charges each member's pipeline and applies the
-// stop rule. Groups of one round touch disjoint query states, so this is
-// safe to run concurrently across groups.
+// processGroup extracts one lockstep group's membership and processes its
+// chunk. Groups of one round touch disjoint query states, so this is safe
+// to run concurrently across groups.
 func (a *arena) processGroup(ws *workerScratch, g group) {
-	members := a.pairs[g.lo:g.hi]
-	chunk := int(members[0].chunk)
+	pairs := a.pairs[g.lo:g.hi]
+	ws.members = ws.members[:0]
+	for _, p := range pairs {
+		ws.members = append(ws.members, p.state)
+	}
+	a.processChunk(ws, int(pairs[0].chunk), ws.members)
+}
+
+// processChunk reads and decodes one chunk, scans it for every member
+// query, then charges each member's pipeline and applies its stop rule.
+// members must be sorted ascending (deterministic error attribution and
+// the scanGroup merge walk both rely on it) and their states must be
+// owned by the caller: the lockstep scheduler partitions a round's
+// states by wanted chunk, the asynchronous scheduler subscribes a query
+// to exactly one task at a time.
+func (a *arena) processChunk(ws *workerScratch, chunk int, members []int32) {
 	m := &a.metas[chunk]
 	machine := int32(0)
 	if a.machines != nil {
@@ -449,8 +570,8 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 			// stall; no budget is spent and the stop rule is not consulted.
 			stall := ws.data.Stall
 			ws.data.Stall = 0
-			for _, p := range members {
-				st := &a.states[p.state]
+			for _, si := range members {
+				st := &a.states[si]
 				res := st.res
 				st.pipes[machine].Stall(stall)
 				if e := st.pipes[machine].Elapsed(); e > res.Elapsed {
@@ -462,23 +583,26 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 					a.retire(st)
 				} else {
 					st.cursor++
+					if a.asyncMode {
+						a.subscribe(st.ranked[st.cursor].Idx, si)
+					}
 				}
 			}
 			return
 		}
-		a.fail(members[0].state, err)
+		a.fail(members[0], err)
 		return
 	}
 	if len(members) == 1 {
-		st := &a.states[members[0].state]
+		st := &a.states[members[0]]
 		ws.d2 = search.ScanChunk(st.q, a.dims, &ws.data, st.heap, ws.d2)
 	} else {
 		a.scanGroup(ws, members)
 	}
 	stall := ws.data.Stall
 	ws.data.Stall = 0
-	for _, p := range members {
-		st := &a.states[p.state]
+	for _, si := range members {
+		st := &a.states[si]
 		res := st.res
 		// Charge the chunk to its owning machine's pipeline; the elapsed
 		// the stop rule sees is the max over the query's machines (they
@@ -493,6 +617,16 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 		res.ChunksRead++
 		res.Elapsed = elapsed
 		pos := st.cursor
+		if a.trace != nil {
+			st.events = st.heap.AppendAll(st.events[:0])
+			a.trace(int(st.qi), search.Event{
+				Ordinal:    pos + 1,
+				ChunkIndex: chunk,
+				ChunkCount: m.Count,
+				Elapsed:    elapsed,
+				Neighbors:  st.events,
+			})
+		}
 		switch {
 		case a.stop.Done(res.ChunksRead, elapsed, st.heap.Kth(), st.suffix[pos+1]):
 			// Mirror the single-query path exactly: the certificate from the
@@ -506,32 +640,42 @@ func (a *arena) processGroup(ws *workerScratch, g group) {
 			a.retire(st)
 		default:
 			st.cursor++
+			if a.asyncMode {
+				a.subscribe(st.ranked[st.cursor].Idx, si)
+			}
 		}
 	}
 }
 
 // scanBlock is the row-block granularity of the multi-query kernel: 256
 // 24-d float32 rows are 24 KiB, small enough to stay L1-resident while
-// every filling-heap query of the group streams over them.
+// every Multi-scanned query of the group streams over them.
 const scanBlock = 256
 
 // scanGroup scans one decoded chunk for several queries. Queries whose
 // k-NN set is still filling need full distances anyway, so they share one
 // SquaredDistancesMulti call per row block — the chunk's rows are loaded
-// once for all of them. Queries with a full heap run the single-query
-// path's ScanChunk back to back while the chunk is hot (full-row scans on
-// SIMD backends, partial-distance early abandonment on the portable one —
-// see vec.PrefersFullScan). Both branches produce the exact heap contents
-// the single-query ScanChunk would.
-func (a *arena) scanGroup(ws *workerScratch, members []pair) {
+// once for all of them. On backends that prefer full scans
+// (vec.PrefersFullScan, the SIMD backends) the full-heap queries fold
+// into the very same Multi call: their ScanChunk branch would stream full
+// rows through the row kernel anyway, so sharing the group's block tiling
+// loads each row block once for the whole group and lets the query-pair
+// Multi kernels amortize row traffic across queries. On the portable
+// backend full-heap queries keep the single-query path's per-row
+// partial-distance abandonment. All branches produce the exact heap
+// contents the single-query ScanChunk would: Multi distances are
+// bit-identical to the row kernel's, and abandoned candidates are exactly
+// those the heap would reject.
+func (a *arena) scanGroup(ws *workerScratch, members []int32) {
 	data := &ws.data
 	dims := a.dims
 	n := data.Len()
 
+	full := vec.PrefersFullScan()
 	ws.fill = ws.fill[:0]
-	for _, p := range members {
-		if !a.states[p.state].heap.Full() {
-			ws.fill = append(ws.fill, p.state)
+	for _, si := range members {
+		if full || !a.states[si].heap.Full() {
+			ws.fill = append(ws.fill, si)
 		}
 	}
 	if qn := len(ws.fill); qn > 0 {
@@ -561,24 +705,27 @@ func (a *arena) scanGroup(ws *workerScratch, members []pair) {
 			}
 		}
 	}
-	// Full-heap members: partial-distance scans. ws.fill is a subsequence
-	// of members (both ascend by state), so a merge walk skips the states
-	// already scanned above — including any whose heap filled just now.
+	// Remaining members: partial-distance scans (portable backend only —
+	// with PrefersFullScan every member went through Multi above).
+	// ws.fill is a subsequence of members (both ascend by state), so a
+	// merge walk skips the states already scanned — including any whose
+	// heap filled just now.
 	fi := 0
-	for _, p := range members {
-		if fi < len(ws.fill) && ws.fill[fi] == p.state {
+	for _, si := range members {
+		if fi < len(ws.fill) && ws.fill[fi] == si {
 			fi++
 			continue
 		}
-		st := &a.states[p.state]
+		st := &a.states[si]
 		ws.d2 = search.ScanChunk(st.q, dims, data, st.heap, ws.d2)
 	}
 }
 
 // retire finalizes one query: sorted neighbors into the caller's reused
-// slice, wall time up to this query's completion. A degraded query is
-// never exact — a skipped chunk may hold closer neighbors than any
-// certificate can rule out.
+// slice, wall time up to this query's completion, and — when the run
+// streams — the completion callback, fired after the result is fully
+// written. A degraded query is never exact — a skipped chunk may hold
+// closer neighbors than any certificate can rule out.
 func (a *arena) retire(st *queryState) {
 	if st.res.Degraded {
 		st.res.Exact = false
@@ -586,10 +733,13 @@ func (a *arena) retire(st *queryState) {
 	st.res.Neighbors = st.heap.SortedInto(st.res.Neighbors)
 	st.res.Wall = time.Since(a.start)
 	st.done = true
+	if a.onDone != nil {
+		a.onDone(int(st.qi))
+	}
 }
 
-// processSpan runs the contiguous groups[lo:hi] of the current round,
-// bailing out once any group has failed the batch.
+// processSpan runs the contiguous groups[lo:hi] of the current lockstep
+// round, bailing out once any group has failed the batch.
 func (a *arena) processSpan(ws *workerScratch, lo, hi int32) {
 	for gi := lo; gi < hi; gi++ {
 		if a.failed.Load() {
@@ -615,7 +765,9 @@ func (a *arena) dispatchSpan(lo, hi int32) {
 	}
 }
 
-// job hands one span of one round's groups to a pool worker.
+// job hands one unit of work to a pool worker: a span of lockstep groups
+// (hi > lo), or — when hi is negative — the asynchronous scheduler's
+// decode task for chunk lo.
 type job struct {
 	a      *arena
 	lo, hi int32
@@ -639,7 +791,12 @@ func ensurePool() {
 			go func() {
 				var ws workerScratch
 				for jb := range jobs {
-					jb.a.processSpan(&ws, jb.lo, jb.hi)
+					if jb.hi < 0 {
+						jb.a.runTask(&ws, jb.lo)
+						jb.a.inflight.Add(-1)
+					} else {
+						jb.a.processSpan(&ws, jb.lo, jb.hi)
+					}
 					jb.a.wg.Done()
 				}
 			}()

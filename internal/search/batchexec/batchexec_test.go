@@ -16,7 +16,7 @@ import (
 
 // buildStores returns the same chunk index as a MemStore and a FileStore,
 // so every equivalence below is pinned on both backends.
-func buildStores(t *testing.T) (*chunkfile.MemStore, *chunkfile.FileStore, []vec.Vector) {
+func buildStores(t testing.TB) (*chunkfile.MemStore, *chunkfile.FileStore, []vec.Vector) {
 	t.Helper()
 	ds := imagegen.MustGenerate(imagegen.DefaultConfig(5000, 17))
 	coll := ds.Collection
@@ -123,22 +123,24 @@ func TestBatchZeroAlloc(t *testing.T) {
 	}
 	mem, _, queries := buildStores(t)
 	eng := New(mem, nil)
-	for _, par := range []int{1, 0} {
-		opts := Options{K: 20, Stop: search.ChunkBudget(4), Parallelism: par}
-		results := make([]search.Result, len(queries))
-		// Warm up: grows the arena, worker scratches and neighbor slices.
-		for i := 0; i < 3; i++ {
-			if err := eng.Run(queries, opts, results); err != nil {
-				t.Fatal(err)
+	for _, sched := range []Scheduler{SchedulerAsync, SchedulerLockstep} {
+		for _, par := range []int{1, 0} {
+			opts := Options{K: 20, Stop: search.ChunkBudget(4), Parallelism: par, Scheduler: sched}
+			results := make([]search.Result, len(queries))
+			// Warm up: grows the arena, worker scratches and neighbor slices.
+			for i := 0; i < 3; i++ {
+				if err := eng.Run(queries, opts, results); err != nil {
+					t.Fatal(err)
+				}
 			}
-		}
-		allocs := testing.AllocsPerRun(20, func() {
-			if err := eng.Run(queries, opts, results); err != nil {
-				t.Fatal(err)
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := eng.Run(queries, opts, results); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("scheduler %d parallelism %d: steady-state batch allocates %v per run, want 0", sched, par, allocs)
 			}
-		})
-		if allocs != 0 {
-			t.Fatalf("parallelism %d: steady-state batch allocates %v per run, want 0", par, allocs)
 		}
 	}
 }
@@ -306,5 +308,32 @@ func TestBatchShardMapping(t *testing.T) {
 	bad[0] = int32(machines)
 	if err := eng.Run(queries, Options{Shards: bad, NumShards: machines}, got); err == nil {
 		t.Fatal("machine index >= NumShards accepted")
+	}
+}
+
+// BenchmarkBatchScheduler compares the asynchronous work-queue scheduler
+// against the lockstep round-barrier baseline on the file-backed store,
+// where decode latency (and thus the barrier) actually costs wall time.
+func BenchmarkBatchScheduler(b *testing.B) {
+	_, file, queries := buildStores(b)
+	eng := New(file, nil)
+	for _, sc := range []struct {
+		name  string
+		sched Scheduler
+	}{{"async", SchedulerAsync}, {"lockstep", SchedulerLockstep}} {
+		b.Run(sc.name, func(b *testing.B) {
+			opts := Options{K: 20, Stop: search.ChunkBudget(5), Overlap: true, Scheduler: sc.sched}
+			results := make([]search.Result, len(queries))
+			if err := eng.Run(queries, opts, results); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Run(queries, opts, results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -107,6 +107,32 @@ func (b *routerBackend) SearchBatchInto(queries []repro.Vector, opts repro.Batch
 	return nil
 }
 
+func (b *routerBackend) SearchBatchStream(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result, done func(query int)) error {
+	srs := make([]search.Result, len(queries))
+	down := b.r.DownShards()
+	return b.r.RunBatchStream(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopOf(opts.SearchOptions),
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
+	}, srs, func(qi int) {
+		results[qi] = repro.Result{
+			Neighbors:     srs[qi].Neighbors,
+			ChunksRead:    srs[qi].ChunksRead,
+			Simulated:     srs[qi].Elapsed,
+			Wall:          srs[qi].Wall,
+			Exact:         srs[qi].Exact,
+			Degraded:      srs[qi].Degraded,
+			ChunksSkipped: srs[qi].ChunksSkipped,
+			ShardsDown:    down,
+		}
+		if done != nil {
+			done(qi)
+		}
+	})
+}
+
 func (b *routerBackend) MultiSearch(descriptors []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error) {
 	maxChunks := opts.MaxChunks
 	if maxChunks <= 0 {

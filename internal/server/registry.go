@@ -30,6 +30,10 @@ type Backend interface {
 	Search(q repro.Vector, opts repro.SearchOptions) (*repro.Result, error)
 	// SearchBatchInto runs a whole batch through the chunk-major engine.
 	SearchBatchInto(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result) error
+	// SearchBatchStream runs a batch with per-query completion streaming:
+	// done(qi) fires once per query as soon as it retires, with
+	// results[qi] fully written (the /batch endpoint's stream mode).
+	SearchBatchStream(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result, done func(query int)) error
 	// MultiSearch runs a whole-image bag of descriptors with image voting.
 	MultiSearch(descriptors []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error)
 	// Chunks is the number of chunks in the index.

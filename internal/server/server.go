@@ -222,6 +222,36 @@ type BatchRequest struct {
 	GlobalBudget bool  `json:"global_budget,omitempty"`
 	// Parallelism caps the batch engine's concurrency (0 = GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Stream switches the response to NDJSON (application/x-ndjson): one
+	// BatchStreamItem line per query, written the moment that query
+	// completes — fast queries arrive while slow ones still run — then
+	// one trailer line carrying the BatchResponse totals (or the error,
+	// when the batch failed after streaming began).
+	Stream bool `json:"stream,omitempty"`
+}
+
+// BatchStreamItem is one line of a streamed batch response: a per-query
+// completion (Query + Result), or the trailer (Done true) carrying the
+// batch totals that a buffered BatchResponse would have carried — or the
+// failure, since a mid-batch error can only be reported in-band once
+// streaming has begun. Lines stream in completion order, not request
+// order; Query maps each back to its slot.
+type BatchStreamItem struct {
+	// Query is the index of the completed query in the request, for
+	// per-query lines; absent on the trailer.
+	Query int `json:"query"`
+	// Result is the completed query's outcome; nil on the trailer.
+	Result *SearchResponse `json:"result,omitempty"`
+	// Done marks the trailer, always the final line.
+	Done bool `json:"done,omitempty"`
+	// ChunksRead, Degraded, ChunksGranted are the trailer's batch totals,
+	// as in BatchResponse.
+	ChunksRead    int  `json:"chunks_read,omitempty"`
+	Degraded      bool `json:"degraded,omitempty"`
+	ChunksGranted int  `json:"chunks_granted,omitempty"`
+	// Error reports a batch failure on the trailer: queries already
+	// streamed remain valid, the rest never arrive.
+	Error string `json:"error,omitempty"`
 }
 
 // BatchResponse is the body of a batch's 200: per-query outcomes in
@@ -603,6 +633,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) result {
 	}
 	applyDeadlineBudget(&opts.SearchOptions, ctx)
 	results := make([]repro.Result, len(queries))
+	if req.Stream {
+		return s.streamBatch(w, b, queries, opts, results, g)
+	}
 	if err := b.SearchBatchInto(queries, opts, results); err != nil {
 		g.settle(s.buckets, 0)
 		return searchFailure(w, err)
@@ -619,6 +652,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) result {
 	g.settle(s.buckets, resp.ChunksRead)
 	writeJSON(w, resp)
 	return result{outcome: OutcomeOK, chunksRead: resp.ChunksRead, degraded: resp.Degraded}
+}
+
+// streamBatch answers a stream:true batch as NDJSON: one BatchStreamItem
+// line per query in completion order, flushed as it completes, then a
+// trailer line with the batch totals. The 200 and headers commit before
+// the batch runs, so a mid-batch failure is reported in-band on the
+// trailer — queries already streamed remain valid, exactly the facade's
+// SearchBatchStream contract.
+func (s *Server) streamBatch(w http.ResponseWriter, b Backend, queries []repro.Vector, opts repro.BatchOptions, results []repro.Result, g grant) result {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex // serializes completion callbacks onto the wire
+	chunksRead, degraded := 0, false
+	err := b.SearchBatchStream(queries, opts, results, func(qi int) {
+		item := searchResponse(&results[qi])
+		mu.Lock()
+		defer mu.Unlock()
+		chunksRead += results[qi].ChunksRead
+		degraded = degraded || results[qi].Degraded
+		enc.Encode(BatchStreamItem{Query: qi, Result: &item})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	trailer := BatchStreamItem{Done: true, ChunksRead: chunksRead, Degraded: degraded}
+	if g.shrunk {
+		trailer.ChunksGranted = g.perQuery
+	}
+	outcome := OutcomeOK
+	if err != nil {
+		trailer.Error = err.Error()
+		outcome = OutcomeServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			outcome = OutcomeDeadlineMiss
+		}
+	}
+	g.settle(s.buckets, chunksRead)
+	enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return result{outcome: outcome, chunksRead: chunksRead, degraded: degraded}
 }
 
 func (s *Server) handleMulti(w http.ResponseWriter, r *http.Request) result {

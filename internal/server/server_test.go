@@ -40,6 +40,18 @@ func (f *fakeBackend) SearchBatchInto(queries []repro.Vector, opts repro.BatchOp
 	return nil
 }
 
+func (f *fakeBackend) SearchBatchStream(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result, done func(query int)) error {
+	if err := f.SearchBatchInto(queries, opts, results); err != nil {
+		return err
+	}
+	if done != nil {
+		for i := range results {
+			done(i)
+		}
+	}
+	return nil
+}
+
 func (f *fakeBackend) MultiSearch(d []repro.Vector, opts repro.MultiSearchOptions) (*repro.MultiResult, error) {
 	if f.multiFn != nil {
 		return f.multiFn(d, opts)
@@ -201,6 +213,83 @@ func TestServeSearchBatchMulti(t *testing.T) {
 	}
 	if snap.ChunksCharged <= 0 {
 		t.Fatalf("metrics ChunksCharged = %d, want positive", snap.ChunksCharged)
+	}
+}
+
+func TestServeBatchStream(t *testing.T) {
+	ix, coll := buildTestIndex(t, 2000)
+	ts, _ := serveTest(t, Config{}, map[string]Backend{"main": ix})
+
+	queries := [][]float32{coll.Vec(5), coll.Vec(6), coll.Vec(7), coll.Vec(8)}
+	resp, raw := doJSON(t, "POST", ts.URL+"/v1/indexes/main/batch",
+		BatchRequest{Queries: queries, K: 4, MaxChunks: 2, Stream: true}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream batch: %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q, want application/x-ndjson", ct)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	seen := make(map[int]bool)
+	var trailer *BatchStreamItem
+	for dec.More() {
+		var item BatchStreamItem
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("decoding stream line: %v\n%s", err, raw)
+		}
+		if item.Done {
+			trailer = &item
+			if dec.More() {
+				t.Fatalf("trailer is not the last line:\n%s", raw)
+			}
+			break
+		}
+		if item.Query < 0 || item.Query >= len(queries) || seen[item.Query] {
+			t.Fatalf("bad or duplicate stream query %d:\n%s", item.Query, raw)
+		}
+		seen[item.Query] = true
+		if item.Result == nil || len(item.Result.Neighbors) == 0 {
+			t.Fatalf("stream item for query %d lacks a result:\n%s", item.Query, raw)
+		}
+		if item.Result.ChunksRead <= 0 || item.Result.ChunksRead > 2 {
+			t.Fatalf("query %d chunks_read = %d, want 1..2", item.Query, item.Result.ChunksRead)
+		}
+	}
+	if len(seen) != len(queries) {
+		t.Fatalf("streamed %d results, want %d", len(seen), len(queries))
+	}
+	if trailer == nil {
+		t.Fatalf("no trailer line:\n%s", raw)
+	}
+	if trailer.Error != "" || trailer.ChunksRead <= 0 {
+		t.Fatalf("trailer = %+v, want no error and positive chunks_read", trailer)
+	}
+
+	// A failing backend surfaces the error in-band on the trailer: the 200
+	// status is already committed when streaming begins.
+	boom := &fakeBackend{batchFn: func(queries []repro.Vector, opts repro.BatchOptions, results []repro.Result) error {
+		return fmt.Errorf("disk on fire")
+	}}
+	ts2, _ := serveTest(t, Config{}, map[string]Backend{"flaky": boom})
+	resp, raw = doJSON(t, "POST", ts2.URL+"/v1/indexes/flaky/batch",
+		BatchRequest{Queries: [][]float32{make([]float32, repro.Dims)}, K: 3, Stream: true}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream batch error case: status %d, want committed 200", resp.StatusCode)
+	}
+	dec = json.NewDecoder(bytes.NewReader(raw))
+	trailer = nil
+	for dec.More() {
+		var item BatchStreamItem
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("decoding stream line: %v\n%s", err, raw)
+		}
+		if item.Done {
+			trailer = &item
+		}
+	}
+	if trailer == nil || trailer.Error == "" {
+		t.Fatalf("failing stream batch: trailer = %+v, want in-band error", trailer)
 	}
 }
 

@@ -312,6 +312,18 @@ func (r *Router) RunBatchGlobal(queries []vec.Vector, opts batchexec.Options, re
 	return r.gengine.Run(queries, opts, results)
 }
 
+// RunBatchGlobalStream is RunBatchGlobal with streaming completions:
+// done(qi) fires exactly once per query the moment the global-budget
+// engine retires it, with results[qi] fully written. One engine runs the
+// whole fleet's merged walk, so the callback contract is exactly the
+// batch engine's RunStream: callbacks for distinct queries may fire
+// concurrently and must not block. A nil done is RunBatchGlobal.
+func (r *Router) RunBatchGlobalStream(queries []vec.Vector, opts batchexec.Options, results []search.Result, done func(query int)) error {
+	opts.Shards = r.gstore.owner
+	opts.NumShards = len(r.shards)
+	return r.gengine.RunStream(queries, opts, results, done)
+}
+
 // MultiQueryGlobal runs a multi-descriptor (whole-image) query with the
 // bag's per-descriptor chunk budget spent globally: each descriptor's
 // search walks the merged centroid-rank order across all shards instead

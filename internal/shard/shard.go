@@ -750,6 +750,113 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 	return nil
 }
 
+// RunBatchStream executes the batch like RunBatch and additionally
+// streams per-query completions: done(qi), when non-nil, fires exactly
+// once per query, after results[qi] holds its fully merged outcome — a
+// query completes the moment its *last* shard retires it, long before
+// the batch returns while other queries' shards still work. Callbacks
+// for distinct queries may fire concurrently (they run on the shards'
+// scan workers), so done must be safe for concurrent use and should not
+// block. When a shard fails, queries whose callback already fired retain
+// valid merged results; all others are invalid, and the batch returns
+// the ShardError exactly as RunBatch would. A nil done is RunBatch.
+func (r *Router) RunBatchStream(queries []vec.Vector, opts batchexec.Options, results []search.Result, done func(query int)) error {
+	if done == nil {
+		return r.RunBatch(queries, opts, results)
+	}
+	start := time.Now()
+	if len(queries) == 0 {
+		return nil
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("shard: results length %d != queries length %d", len(results), len(queries))
+	}
+	if opts.K <= 0 {
+		opts.K = 30
+	}
+	if opts.Stop == nil {
+		opts.Stop = search.ToCompletion{}
+	}
+	for qi, q := range queries {
+		if len(q) != r.dims {
+			return &batchexec.QueryError{Query: qi, Err: fmt.Errorf("query dims %d != store dims %d", len(q), r.dims)}
+		}
+	}
+
+	sc := r.scratch.Get().(*scatter)
+	defer r.scratch.Put(sc)
+	n := len(r.shards)
+	if cap(sc.batch) < n {
+		batch := make([][]search.Result, n)
+		copy(batch, sc.batch)
+		sc.batch = batch
+	}
+	sc.batch = sc.batch[:n]
+	for s := range sc.batch {
+		sc.batch[s] = grow(sc.batch[s], len(queries))
+	}
+	sc.errs = resetErrs(sc.errs, n)
+
+	// remaining[qi] counts the shards that have not yet retired query qi;
+	// the callback that decrements it to zero owns the merge and the
+	// user-visible completion. The mutex serializes merges only — they
+	// share the scatter's merge scratch — never the shards' scan work.
+	remaining := make([]atomic.Int32, len(queries))
+	for qi := range remaining {
+		remaining[qi].Store(int32(n))
+	}
+	var mergeMu sync.Mutex
+	complete := func(qi int) {
+		mergeMu.Lock()
+		sc.rows = sc.rows[:0]
+		for s := 0; s < n; s++ {
+			sc.rows = append(sc.rows, &sc.batch[s][qi])
+		}
+		res := &results[qi]
+		neighbors := res.Neighbors[:0]
+		*res = search.Result{}
+		res.Neighbors, sc.cur = mergeNeighbors(sc.rows, opts.K, neighbors, sc.cur)
+		res.Exact = true
+		for _, row := range sc.rows {
+			res.ChunksRead += row.ChunksRead
+			res.ChunksSkipped += row.ChunksSkipped
+			if row.Elapsed > res.Elapsed {
+				res.Elapsed = row.Elapsed
+			}
+			if row.IndexRead > res.IndexRead {
+				res.IndexRead = row.IndexRead
+			}
+			res.Exact = res.Exact && row.Exact
+			res.Degraded = res.Degraded || row.Degraded
+		}
+		res.Wall = time.Since(start)
+		mergeMu.Unlock()
+		done(qi)
+	}
+	shardDone := func(qi int) {
+		if remaining[qi].Add(-1) == 0 {
+			complete(qi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sc.errs[s] = r.shards[s].engine.RunStream(queries, opts, sc.batch[s], shardDone)
+		}(s)
+	}
+	sc.errs[0] = r.shards[0].engine.RunStream(queries, opts, sc.batch[0], shardDone)
+	wg.Wait()
+	for s, err := range sc.errs {
+		if err != nil {
+			return &ShardError{Shard: s, Err: err}
+		}
+	}
+	return nil
+}
+
 // MultiQuery runs a multi-descriptor (whole-image) query scatter-gather:
 // the bag's per-descriptor searches run as one batch across every shard,
 // and the merged per-descriptor neighbor lists vote through the shared

@@ -16,6 +16,9 @@ func sqDistsToSSE2(q, backing []float32, dims, rows int, out []float64)
 func sqDistsToAVX2(q, backing []float32, dims, rows int, out []float64)
 
 //go:noescape
+func sqDistsMultiPairAVX2(q0, q1, backing []float32, dims, rows int, out0, out1 []float64)
+
+//go:noescape
 func sqPartialSSE2(a, b []float32, bound float64) float64
 
 // cpuid and xgetbv0 (cpu_amd64.s) expose the CPUID / XGETBV instructions
@@ -51,6 +54,29 @@ func squaredDistancesToAVX2(q, backing []float32, dims int, out []float64) {
 	sqDistsToAVX2(q, backing, dims, len(backing)/dims, out)
 }
 
+// squaredDistancesMultiAVX2 runs the multi-query scan through the
+// query-pair kernel: queries are taken two at a time, each pair sharing
+// one pass over the rows (the pair rides in one 256-bit register, the
+// row block broadcast to both halves), with an odd trailing query
+// falling back to the row-pair single-query kernel. Distances are
+// bit-identical to per-query calls — each 128-bit half runs the same
+// 4-lane accumulation — so this only changes how often the rows are
+// loaded: once per pair instead of once per query.
+func squaredDistancesMultiAVX2(queries, backing []float32, dims int, out []float64) {
+	rows := len(backing) / dims
+	nq := len(queries) / dims
+	qi := 0
+	for ; qi+2 <= nq; qi += 2 {
+		sqDistsMultiPairAVX2(
+			queries[qi*dims:(qi+1)*dims], queries[(qi+1)*dims:(qi+2)*dims],
+			backing, dims, rows,
+			out[qi*rows:(qi+1)*rows], out[(qi+1)*rows:(qi+2)*rows])
+	}
+	if qi < nq {
+		sqDistsToAVX2(queries[qi*dims:(qi+1)*dims], backing, dims, rows, out[qi*rows:(qi+1)*rows])
+	}
+}
+
 // archKernels reports the assembly backends usable on this CPU, slowest
 // first. The partial field holds the asm entry point itself — the kernel
 // runs once per row in full-heap scans, so an extra Go wrapper frame
@@ -70,7 +96,7 @@ func archKernels() []kernelBackend {
 		ks = append(ks, kernelBackend{
 			name:       "avx2",
 			distsTo:    squaredDistancesToAVX2,
-			distsMulti: multiFrom(sqDistsToAVX2),
+			distsMulti: squaredDistancesMultiAVX2,
 			partial:    sqPartialSSE2,
 			fullScan:   true,
 		})

@@ -211,6 +211,27 @@ func BenchmarkKernelSquaredDistancesMulti(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelSquaredDistancesMultiPair reports per-backend
+// throughput at the query-pair kernel's native shape — exactly two
+// queries sharing one pass over a large row block — isolating the
+// row-traffic halving from the batch-size effects of the 16-query
+// bench above.
+func BenchmarkKernelSquaredDistancesMultiPair(b *testing.B) {
+	const dims, rows, nq = Dims, 4096, 2
+	queries, backing, out := benchData(dims, rows, nq)
+	for _, backend := range Backends() {
+		b.Run(backend, func(b *testing.B) {
+			withBackend(b, backend, func() {
+				b.SetBytes(int64(nq * rows * dims * 4))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					SquaredDistancesMulti(queries, backing, dims, out)
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkKernelPartialSquaredDistance reports per-backend partial scan
 // cost with a bound that never abandons (the worst case).
 func BenchmarkKernelPartialSquaredDistance(b *testing.B) {

@@ -260,6 +260,152 @@ adone:
 	VZEROUPPER
 	RET
 
+// func sqDistsMultiPairAVX2(q0, q1, backing []float32, dims, rows int, out0, out1 []float64)
+//
+// Query-pair kernel, the transpose of sqDistsToAVX2's row pairing: the
+// Y-register is [query 0 lanes | query 1 lanes] against ONE row block
+// broadcast to both halves, so each 128-bit half still runs the exact
+// 4-lane scheme of the portable kernel and both distances of the pair
+// are bit-identical to per-query calls — but every row block is loaded
+// once for two queries, halving row traffic for batch groups. dims==24
+// hoists all six blocks of both queries into Y10-Y15 once per call and
+// fully unrolls the six-block row body.
+//
+// SI = q0, R12 = q1, DX = current row, CX = dims, BX = rows left,
+// DI = out0, R13 = out1, R8 = dims&^3, R9 = element index.
+TEXT ·sqDistsMultiPairAVX2(SB), NOSPLIT, $0-136
+	MOVQ q0_base+0(FP), SI
+	MOVQ q1_base+24(FP), R12
+	MOVQ backing_base+48(FP), DX
+	MOVQ dims+72(FP), CX
+	MOVQ rows+80(FP), BX
+	MOVQ out0_base+88(FP), DI
+	MOVQ out1_base+112(FP), R13
+	MOVQ CX, R8
+	ANDQ $-4, R8
+
+	CMPQ CX, $24
+	JEQ  minit24
+
+mrowloop:
+	TESTQ  BX, BX
+	JZ     mdone
+	VXORPS Y0, Y0, Y0
+	XORQ   R9, R9
+
+mv4:
+	CMPQ           R9, R8
+	JGE            mtail
+	VMOVUPS        (SI)(R9*4), X1
+	VINSERTF128    $1, (R12)(R9*4), Y1, Y1
+	VBROADCASTF128 (DX)(R9*4), Y2
+	VSUBPS         Y2, Y1, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	ADDQ           $4, R9
+	JMP            mv4
+
+mtail:
+	VEXTRACTF128 $1, Y0, X5  // X5 = query 1 accumulators; X0 = query 0
+
+mtailloop:
+	CMPQ   R9, CX
+	JGE    mreduce
+	VMOVSS (DX)(R9*4), X2
+	VMOVSS (SI)(R9*4), X1
+	VSUBSS X2, X1, X1
+	VMULSS X1, X1, X1
+	VADDSS X1, X0, X0
+	VMOVSS (R12)(R9*4), X1
+	VSUBSS X2, X1, X1
+	VMULSS X1, X1, X1
+	VADDSS X1, X5, X5
+	INCQ   R9
+	JMP    mtailloop
+
+mreduce:
+	VSHUFPS   $0xB1, X0, X0, X1
+	VADDPS    X1, X0, X0
+	VSHUFPS   $0xEE, X0, X0, X1
+	VADDSS    X1, X0, X0
+	VCVTSS2SD X0, X0, X0
+	VMOVSD    X0, (DI)
+	VSHUFPS   $0xB1, X5, X5, X1
+	VADDPS    X1, X5, X5
+	VSHUFPS   $0xEE, X5, X5, X1
+	VADDSS    X1, X5, X5
+	VCVTSS2SD X5, X5, X5
+	VMOVSD    X5, (R13)
+	ADDQ      $8, DI
+	ADDQ      $8, R13
+	LEAQ      (DX)(CX*4), DX
+	DECQ      BX
+	JMP       mrowloop
+
+minit24:
+	// Hoist both 24-d queries into Y10-Y15: [q0 block k | q1 block k].
+	VMOVUPS     (SI), X10
+	VINSERTF128 $1, (R12), Y10, Y10
+	VMOVUPS     16(SI), X11
+	VINSERTF128 $1, 16(R12), Y11, Y11
+	VMOVUPS     32(SI), X12
+	VINSERTF128 $1, 32(R12), Y12, Y12
+	VMOVUPS     48(SI), X13
+	VINSERTF128 $1, 48(R12), Y13, Y13
+	VMOVUPS     64(SI), X14
+	VINSERTF128 $1, 64(R12), Y14, Y14
+	VMOVUPS     80(SI), X15
+	VINSERTF128 $1, 80(R12), Y15, Y15
+
+mrow24:
+	TESTQ          BX, BX
+	JZ             mdone
+	VBROADCASTF128 (DX), Y2
+	VSUBPS         Y2, Y10, Y1
+	VMULPS         Y1, Y1, Y0 // block 0 initializes the accumulators
+	VBROADCASTF128 16(DX), Y2
+	VSUBPS         Y2, Y11, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	VBROADCASTF128 32(DX), Y2
+	VSUBPS         Y2, Y12, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	VBROADCASTF128 48(DX), Y2
+	VSUBPS         Y2, Y13, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	VBROADCASTF128 64(DX), Y2
+	VSUBPS         Y2, Y14, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	VBROADCASTF128 80(DX), Y2
+	VSUBPS         Y2, Y15, Y1
+	VMULPS         Y1, Y1, Y1
+	VADDPS         Y1, Y0, Y0
+	VEXTRACTF128   $1, Y0, X5
+	VSHUFPS        $0xB1, X0, X0, X1
+	VADDPS         X1, X0, X0
+	VSHUFPS        $0xEE, X0, X0, X1
+	VADDSS         X1, X0, X0
+	VCVTSS2SD      X0, X0, X0
+	VMOVSD         X0, (DI)
+	VSHUFPS        $0xB1, X5, X5, X1
+	VADDPS         X1, X5, X5
+	VSHUFPS        $0xEE, X5, X5, X1
+	VADDSS         X1, X5, X5
+	VCVTSS2SD      X5, X5, X5
+	VMOVSD         X5, (R13)
+	ADDQ           $8, DI
+	ADDQ           $8, R13
+	LEAQ           96(DX), DX
+	DECQ           BX
+	JMP            mrow24
+
+mdone:
+	VZEROUPPER
+	RET
+
 // func sqPartialSSE2(a, b []float32, bound float64) float64
 //
 // Mirrors partialSquaredDistancePortable exactly: the bound is checked

@@ -20,6 +20,26 @@
 #define FADDP_V0_V0_V0 WORD $0x6E20D400 // faddp v0.4s, v0.4s, v0.4s
 #define FADDP_V3_V3_V3 WORD $0x6E23D463 // faddp v3.4s, v3.4s, v3.4s
 
+// The dims==24 row-pair path (rowpair24 below) hoists the query's six
+// blocks into V10-V15 and accumulates two rows per trip: row i in V0
+// (temps V1/V2) and row i+1 in V4 (temps V3/V5). Same encoding scheme,
+// same contract: each row's accumulator runs the exact 4-lane order.
+#define FSUB_V1_V10_V2 WORD $0x4EA2D541 // fsub  v1.4s, v10.4s, v2.4s
+#define FSUB_V1_V11_V2 WORD $0x4EA2D561 // fsub  v1.4s, v11.4s, v2.4s
+#define FSUB_V1_V12_V2 WORD $0x4EA2D581 // fsub  v1.4s, v12.4s, v2.4s
+#define FSUB_V1_V13_V2 WORD $0x4EA2D5A1 // fsub  v1.4s, v13.4s, v2.4s
+#define FSUB_V1_V14_V2 WORD $0x4EA2D5C1 // fsub  v1.4s, v14.4s, v2.4s
+#define FSUB_V1_V15_V2 WORD $0x4EA2D5E1 // fsub  v1.4s, v15.4s, v2.4s
+#define FSUB_V3_V10_V5 WORD $0x4EA5D543 // fsub  v3.4s, v10.4s, v5.4s
+#define FSUB_V3_V11_V5 WORD $0x4EA5D563 // fsub  v3.4s, v11.4s, v5.4s
+#define FSUB_V3_V12_V5 WORD $0x4EA5D583 // fsub  v3.4s, v12.4s, v5.4s
+#define FSUB_V3_V13_V5 WORD $0x4EA5D5A3 // fsub  v3.4s, v13.4s, v5.4s
+#define FSUB_V3_V14_V5 WORD $0x4EA5D5C3 // fsub  v3.4s, v14.4s, v5.4s
+#define FSUB_V3_V15_V5 WORD $0x4EA5D5E3 // fsub  v3.4s, v15.4s, v5.4s
+#define FMUL_V3_V3_V3  WORD $0x6E23DC63 // fmul  v3.4s, v3.4s, v3.4s
+#define FADD_V4_V4_V3  WORD $0x4E23D484 // fadd  v4.4s, v4.4s, v3.4s
+#define FADDP_V4_V4_V4 WORD $0x6E24D484 // faddp v4.4s, v4.4s, v4.4s
+
 // func sqDistsToNEON(q, backing []float32, dims, rows int, out []float64)
 //
 // R0 = q base, R1 = current row, R2 = dims, R3 = rows left, R4 = out.
@@ -33,6 +53,8 @@ TEXT ·sqDistsToNEON(SB), NOSPLIT, $0-88
 	MOVD out_base+64(FP), R4
 	LSR  $2, R2, R7
 	AND  $3, R2, R8
+	CMP  $24, R2
+	BEQ  init24
 
 rowloop:
 	CBZ  R3, done
@@ -92,6 +114,126 @@ store:
 	ADD     R2<<2, R1, R1       // next row
 	SUB     $1, R3, R3
 	B       rowloop
+
+init24:
+	// dims==24 (the paper's descriptor width): hoist the query's six
+	// blocks into V10-V15 once per call, then run a fully unrolled
+	// row-pair body — each trip loads both rows' blocks while the query
+	// stays register-resident, so the inner loop touches memory only for
+	// row data. 24 is six full blocks, so no scalar tail exists.
+	MOVD   R0, R5
+	VLD1.P 64(R5), [V10.S4, V11.S4, V12.S4, V13.S4]
+	VLD1   (R5), [V14.S4, V15.S4]
+
+rowpair24:
+	CMP  $2, R3
+	BLT  single24
+	MOVD R1, R5                 // row i cursor
+	ADD  $96, R1, R6            // row i+1 cursor
+	VEOR V0.B16, V0.B16, V0.B16 // row i accumulators
+	VEOR V4.B16, V4.B16, V4.B16 // row i+1 accumulators
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V10_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V10_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V11_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V11_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V12_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V12_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V13_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V13_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V14_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V14_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V15_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R6), [V5.S4]
+	FSUB_V3_V15_V5
+	FMUL_V3_V3_V3
+	FADD_V4_V4_V3
+
+	// Reduce both rows: lane0 = (s0+s1)+(s2+s3), widen, store.
+	FADDP_V0_V0_V0
+	FADDP_V0_V0_V0
+	FCVTSD  F0, F10
+	FMOVD.P F10, 8(R4)
+	FADDP_V4_V4_V4
+	FADDP_V4_V4_V4
+	FCVTSD  F4, F10
+	FMOVD.P F10, 8(R4)
+	ADD     $192, R1, R1
+	SUB     $2, R3, R3
+	B       rowpair24
+
+single24:
+	CBZ  R3, done
+	MOVD R1, R5
+	VEOR V0.B16, V0.B16, V0.B16
+
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V10_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V11_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V12_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V13_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V14_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+	VLD1.P 16(R5), [V2.S4]
+	FSUB_V1_V15_V2
+	FMUL_V1_V1_V1
+	FADD_V0_V0_V1
+
+	FADDP_V0_V0_V0
+	FADDP_V0_V0_V0
+	FCVTSD  F0, F10
+	FMOVD.P F10, 8(R4)
 
 done:
 	RET

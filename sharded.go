@@ -346,6 +346,75 @@ func (sx *ShardedIndex) SearchBatchInto(queries []Vector, opts BatchOptions, res
 	return nil
 }
 
+// SearchBatchStream runs the batch like SearchBatchInto and streams
+// per-query completions: done(qi) fires exactly once per query, the
+// moment its last shard retires it with results[qi] holding the fully
+// merged outcome (or, under GlobalBudget, the moment the fleet-wide
+// engine retires it). Callbacks for distinct queries may fire
+// concurrently and must not block. On error, queries whose callback
+// already fired retain valid results; the rest are invalid. A nil done
+// degenerates to SearchBatchInto.
+func (sx *ShardedIndex) SearchBatchStream(queries []Vector, opts BatchOptions, results []Result, done func(query int)) error {
+	if done == nil {
+		return sx.SearchBatchInto(queries, opts, results)
+	}
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if len(results) != len(queries) {
+		return fmt.Errorf("repro: batch results length %d != queries length %d", len(results), len(queries))
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	sp := sx.batchPool.Get().(*[]search.Result)
+	defer sx.batchPool.Put(sp)
+	if cap(*sp) < len(queries) {
+		*sp = make([]search.Result, len(queries))
+	}
+	srs := (*sp)[:len(queries)]
+	for i := range results {
+		srs[i] = search.Result{Neighbors: results[i].Neighbors[:0]}
+	}
+	routerBatch := sx.router.RunBatchStream
+	if opts.GlobalBudget {
+		routerBatch = sx.router.RunBatchGlobalStream
+	}
+	shardsDown := sx.router.DownShards()
+	err := routerBatch(queries, batchexec.Options{
+		K:           opts.K,
+		Stop:        stopRule(opts.SearchOptions),
+		Model:       opts.Model,
+		Overlap:     opts.Overlap,
+		Parallelism: opts.Parallelism,
+		Ctx:         opts.Ctx,
+	}, srs, func(qi int) {
+		sr := &srs[qi]
+		results[qi] = Result{
+			Neighbors:     sr.Neighbors,
+			ChunksRead:    sr.ChunksRead,
+			Simulated:     sr.Elapsed,
+			Wall:          sr.Wall,
+			Exact:         sr.Exact,
+			Degraded:      sr.Degraded,
+			ChunksSkipped: sr.ChunksSkipped,
+			ShardsDown:    shardsDown,
+		}
+		done(qi)
+	})
+	for i := range srs {
+		srs[i] = search.Result{} // do not retain caller slices in the pool
+	}
+	if err != nil {
+		var qe *batchexec.QueryError
+		if errors.As(err, &qe) {
+			return fmt.Errorf("repro: batch query %d: %w", qe.Query, qe.Err)
+		}
+		return fmt.Errorf("repro: %w", err)
+	}
+	return nil
+}
+
 // SearchBatch runs every query and returns the merged results in query
 // order — the allocating convenience form of SearchBatchInto.
 func (sx *ShardedIndex) SearchBatch(queries []Vector, opts BatchOptions) ([]*Result, error) {
