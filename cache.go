@@ -25,6 +25,11 @@ type OpenConfig struct {
 	// without it, because the simulated cost model is charged from the
 	// chunk index, never from the reads. Zero opens without a cache.
 	CacheBytes int64
+	// SpreadReads opens the sharded index with the spread-reads routing
+	// policy on (see BuildConfig.SpreadReads): reads go to the live copy
+	// with the least billed simulated load. Answers are byte-identical
+	// either way. Ignored by OpenWith (a single store has one machine).
+	SpreadReads bool
 }
 
 // wrapCache fronts store with a decoded-chunk cache of the given budget;

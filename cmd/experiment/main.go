@@ -24,7 +24,7 @@ import (
 // knownExps lists every selectable experiment, in render order.
 var knownExps = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6",
-	"fig7", "buildtime", "lessons", "comparators", "ablations",
+	"fig7", "buildtime", "lessons", "comparators", "skew", "ablations",
 }
 
 func main() {
@@ -132,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		{"buildtime", func() error { return render(experiments.BuildTime(lab), nil) }},
 		{"lessons", func() error { return render(experiments.Lessons(lab)) }},
 		{"comparators", func() error { return render(experiments.Comparators(lab)) }},
+		{"skew", func() error { return render(experiments.Skew(lab)) }},
 		{"ablations", func() error {
 			if err := render(experiments.AblationOverlap(lab)); err != nil {
 				return err

@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	defaultMaxChunks := fs.Int("default-max-chunks", 0, "admission cost estimate per query without a chunk budget (0 = 16)")
 	probeInterval := fs.Duration("probe-interval", 0, "shard health probe period (0 = 250ms)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "decoded-chunk cache budget in bytes per index, shared across an index's shards (0 = no cache)")
+	spreadReads := fs.Bool("spread-reads", false, "serve each chunk read from the least-loaded live copy (primary or replica) instead of the primary; results are identical, only simulated times and the per-shard load split move")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests at shutdown")
 	var specs []indexSpec
 	fs.Func("index", "name=path of an index to serve (repeatable); path is a sharded index directory or an unsharded prefix", func(v string) error {
@@ -90,7 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// daemon doesn't leak descriptors.
 	defer reg.CloseAll()
 	for _, spec := range specs {
-		b, kind, err := openIndex(spec.path, *cacheBytes)
+		b, kind, err := openIndex(spec.path, *cacheBytes, *spreadReads)
 		if err != nil {
 			return fmt.Errorf("index %q: %w", spec.name, err)
 		}
@@ -139,9 +140,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 // openIndex opens path as a sharded index directory or an unsharded
 // prefix, reporting which it picked. A positive cacheBytes fronts the
-// index's store(s) with a decoded-chunk cache of that budget.
-func openIndex(path string, cacheBytes int64) (server.Backend, string, error) {
-	cfg := repro.OpenConfig{CacheBytes: cacheBytes}
+// index's store(s) with a decoded-chunk cache of that budget;
+// spreadReads turns on the sharded spread-reads routing policy (an
+// unsharded index has one machine and ignores it).
+func openIndex(path string, cacheBytes int64, spreadReads bool) (server.Backend, string, error) {
+	cfg := repro.OpenConfig{CacheBytes: cacheBytes, SpreadReads: spreadReads}
 	if st, err := os.Stat(path); err == nil && st.IsDir() {
 		sx, err := repro.OpenShardedWith(path, cfg)
 		if err != nil {

@@ -74,9 +74,17 @@ type Data struct {
 	// owning machine's simdisk.Pipeline and zero it before the next read,
 	// so a query is billed for exactly the retries its reads needed.
 	Stall time.Duration
-	dims  int
-	buf   []byte // FileStore read scratch, reused across ReadChunk calls
-	pin   Pin    // releases the rows' alias when the Data moves on
+	// Served identifies the simulated machine that actually served this
+	// ReadChunk, for stores that route one logical chunk across several
+	// machines (the shard router's spread-reads policy — see
+	// MachineRouter). Routing stores set it on every call (to the serving
+	// machine on success, the owning machine otherwise); the plain
+	// single-machine stores never touch it, and consumers consult it only
+	// when the store advertises more than one machine.
+	Served int32
+	dims   int
+	buf    []byte // FileStore read scratch, reused across ReadChunk calls
+	pin    Pin    // releases the rows' alias when the Data moves on
 	// ownIDs and ownVecs are the Data-owned decode scratch. decode always
 	// writes into them and points IDs/Vecs at them; Alias points IDs/Vecs
 	// at store- or cache-owned memory while the scratch is retained — so
@@ -160,6 +168,22 @@ type Store interface {
 	ReadChunk(i int, data *Data) error
 	// Close releases resources.
 	Close() error
+}
+
+// MachineRouter is an optional Store interface for stores that may route
+// a read to any of several simulated machines — the shard router's
+// spread-reads policy. Machines returns the machine count and the machine
+// that owns every chunk of this store: a fixed owner when all of the
+// store's chunks bill their stalls to one machine (a shard's logical
+// view), or -1 when ownership varies per chunk (a concatenated
+// multi-shard store, whose consumers already hold a chunk→machine
+// mapping). When count > 1 the store sets Data.Served on every ReadChunk
+// and consumers that track per-machine serving time charge the serving
+// machine's ledger, billing Data.Stall to the owner. A count <= 1
+// disables per-machine accounting entirely, keeping single-machine reads
+// byte-identical to stores that never implement the interface.
+type MachineRouter interface {
+	Machines() (count, owner int)
 }
 
 // Write builds the two files from a clustering. Chunks appear in the

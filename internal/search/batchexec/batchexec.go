@@ -195,7 +195,12 @@ type queryState struct {
 	// pipes is one simulated machine per shard of the run (a single
 	// machine when Options.Shards is nil). Chunks are charged to their
 	// owning machine; the query's Elapsed is the max over the machines.
-	pipes  []simdisk.Pipeline
+	pipes []simdisk.Pipeline
+	// serve is the per-machine serving ledger (search.Result.Machines),
+	// one zero-origin pipeline per machine when the store routes reads
+	// across machines (the shard router with spread reads on); empty
+	// otherwise. Nominal pipes keep driving the stop rules.
+	serve  []simdisk.Pipeline
 	events []knn.Neighbor // trace scratch: current k-NN set per event
 	cursor int            // position in ranked of the next chunk this query wants
 	done   bool
@@ -243,6 +248,14 @@ type arena struct {
 	machines []int32
 	inits    []time.Duration
 	counts   []int // per-machine chunk counts (index-read sizing scratch)
+	// model is the run's resolved cost model; serveMachines/serveOwner
+	// describe the store's read routing (chunkfile.MachineRouter): with
+	// serveMachines > 1 every query carries a per-machine serving ledger,
+	// stalls billing the fixed serveOwner (or, when it is -1, the chunk's
+	// mapped machine — the concatenated global store).
+	model         *simdisk.Model
+	serveMachines int
+	serveOwner    int
 
 	onDone func(int)               // RunStream's completion callback (nil for Run)
 	trace  func(int, search.Event) // Options.Trace
@@ -344,6 +357,11 @@ func (e *Engine) RunStream(queries []vec.Vector, opts Options, results []search.
 	a.failed.Store(false)
 	a.err = nil
 	a.asyncMode = opts.Scheduler == SchedulerAsync
+	a.model = model
+	a.serveMachines, a.serveOwner = 1, 0
+	if mr, ok := e.store.(chunkfile.MachineRouter); ok {
+		a.serveMachines, a.serveOwner = mr.Machines()
+	}
 
 	// Resolve the machine layout: one machine (the original model) unless
 	// a shard mapping splits the store across simulated machines, each
@@ -409,7 +427,20 @@ func (e *Engine) RunStream(queries []vec.Vector, opts Options, results []search.
 		st := &a.states[qi]
 		res := &results[qi]
 		neighbors := res.Neighbors[:0]
+		ledger := res.Machines[:0]
 		*res = search.Result{Neighbors: neighbors, IndexRead: indexRead, Elapsed: indexRead}
+		if a.serveMachines > 1 {
+			res.Machines = ledger // retire appends the machine clocks
+			if cap(st.serve) < a.serveMachines {
+				st.serve = make([]simdisk.Pipeline, a.serveMachines)
+			}
+			st.serve = st.serve[:a.serveMachines]
+			for t := range st.serve {
+				st.serve[t].Reset(model, opts.Overlap, 0)
+			}
+		} else {
+			st.serve = st.serve[:0]
+		}
 		st.qi = int32(qi)
 		st.q = queries[qi]
 		st.ranked = search.RankChunks(st.q, a.metas, st.ranked[:0])
@@ -534,6 +565,7 @@ func (a *arena) release() {
 	a.trace = nil
 	a.ctx = nil
 	a.stop = nil
+	a.model = nil
 }
 
 // processGroup extracts one lockstep group's membership and processes its
@@ -561,6 +593,13 @@ func (a *arena) processChunk(ws *workerScratch, chunk int, members []int32) {
 	if a.machines != nil {
 		machine = a.machines[chunk]
 	}
+	// The machine this chunk's stalls bill to on the serving ledger: the
+	// store's fixed owner (a shard view), or the chunk's mapped machine
+	// when ownership varies per chunk (the concatenated global store).
+	serveOwner := int(machine)
+	if a.serveOwner >= 0 {
+		serveOwner = a.serveOwner
+	}
 	if err := a.store.ReadChunk(chunk, &ws.data); err != nil {
 		if errors.Is(err, chunkfile.ErrUnavailable) {
 			// No live replica serves this chunk: every member query skips
@@ -574,6 +613,9 @@ func (a *arena) processChunk(ws *workerScratch, chunk int, members []int32) {
 				st := &a.states[si]
 				res := st.res
 				st.pipes[machine].Stall(stall)
+				if len(st.serve) > 0 {
+					st.serve[serveOwner].Stall(stall)
+				}
 				if e := st.pipes[machine].Elapsed(); e > res.Elapsed {
 					res.Elapsed = e
 				}
@@ -601,6 +643,12 @@ func (a *arena) processChunk(ws *workerScratch, chunk int, members []int32) {
 	}
 	stall := ws.data.Stall
 	ws.data.Stall = 0
+	served := serveOwner
+	if a.serveMachines > 1 {
+		if sv := int(ws.data.Served); sv >= 0 && sv < a.serveMachines {
+			served = sv
+		}
+	}
 	for _, si := range members {
 		st := &a.states[si]
 		res := st.res
@@ -610,7 +658,17 @@ func (a *arena) processChunk(ws *workerScratch, chunk int, members []int32) {
 		// itself, so the single-machine path is unchanged. A read served
 		// by retries or failover first charges the attempts' stall.
 		st.pipes[machine].Stall(stall)
+		resident := len(st.serve) > 0 && a.model.ChunkResident(chunk)
 		elapsed := st.pipes[machine].ChunkAt(chunk, m.Bytes, m.Count)
+		if len(st.serve) > 0 {
+			// Mirror the charge on the serving ledger: the stall bills the
+			// owner (it performed the retries), the chunk bills the machine
+			// that actually served the read, at the residency this member's
+			// nominal ChunkAt sees (probed per member — each observation
+			// moves the cache tier for the next member).
+			st.serve[serveOwner].Stall(stall)
+			st.serve[served].ChunkCharged(m.Bytes, m.Count, resident)
+		}
 		if elapsed < res.Elapsed {
 			elapsed = res.Elapsed
 		}
@@ -729,6 +787,30 @@ func (a *arena) scanGroup(ws *workerScratch, members []int32) {
 func (a *arena) retire(st *queryState) {
 	if st.res.Degraded {
 		st.res.Exact = false
+	}
+	if len(st.serve) > 0 {
+		mt := st.res.Machines[:0]
+		for t := range st.serve {
+			mt = append(mt, st.serve[t].Elapsed())
+		}
+		st.res.Machines = mt
+		if a.serveOwner < 0 && len(a.inits) == len(st.serve) {
+			// Concatenated multi-shard store (the global-budget mode with
+			// spread reads on): the engine is the merge point, so the
+			// reported Elapsed is recomputed from the serving ledger —
+			// machine t's clock is its own index read plus the serving
+			// time billed to it, and the machines run in parallel, so the
+			// query finishes at the slowest. The stop rule consulted the
+			// nominal owner-billed max throughout, which is what keeps the
+			// answers routing-invariant.
+			elapsed := time.Duration(0)
+			for t := range st.serve {
+				if mc := a.inits[t] + st.serve[t].Elapsed(); mc > elapsed {
+					elapsed = mc
+				}
+			}
+			st.res.Elapsed = elapsed
+		}
 	}
 	st.res.Neighbors = st.heap.SortedInto(st.res.Neighbors)
 	st.res.Wall = time.Since(a.start)

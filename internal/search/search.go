@@ -149,6 +149,18 @@ type Result struct {
 	// the result is the best answer over the reachable data, Exact is
 	// necessarily false, and recall may be below a healthy run's.
 	Degraded bool
+	// Machines is the per-machine serving ledger, set only when the store
+	// routes reads across several simulated machines
+	// (chunkfile.MachineRouter with count > 1 — the shard router's
+	// spread-reads policy): Machines[t] is the simulated time machine t
+	// spent serving this walk's chunks and stalls, measured from a zero
+	// origin (the machine's own index read is not included). Stop rules
+	// and Elapsed stay on the nominal owner-billed pipeline — which is
+	// what keeps spread-routing answer-invariant — and the shard router
+	// folds these ledgers into its merged max-over-machines Simulated.
+	// Nil (or empty) on single-machine stores; the slice is reused across
+	// calls on a recycled Result.
+	Machines []time.Duration
 }
 
 // RankedChunk is one chunk in a query's processing order.
@@ -213,6 +225,10 @@ type scratch struct {
 	heap   *knn.Heap
 	events []Neighbor
 	pipe   simdisk.Pipeline
+	// serve is the per-machine serving ledger (Result.Machines), one
+	// zero-origin pipeline per machine of a routing store; empty on
+	// single-machine stores.
+	serve []simdisk.Pipeline
 }
 
 // Searcher executes queries against one chunk store. It is safe for
@@ -266,10 +282,30 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 		return fmt.Errorf("search: query dims %d != store dims %d", len(q), dims)
 	}
 	neighbors := res.Neighbors[:0]
+	ledger := res.Machines[:0]
 	*res = Result{}
 
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
+
+	// A store that routes reads across several simulated machines (the
+	// shard router with spread reads on) gets a per-machine serving
+	// ledger alongside the nominal pipeline: the nominal pipeline keeps
+	// billing the owner and driving the stop rule — answers never depend
+	// on who served a read — while the ledger records which machine's
+	// clock the serving time actually landed on.
+	machines, owner := 1, 0
+	if mr, ok := s.store.(chunkfile.MachineRouter); ok {
+		machines, owner = mr.Machines()
+	}
+	if machines > 1 {
+		if cap(sc.serve) < machines {
+			sc.serve = make([]simdisk.Pipeline, machines)
+		}
+		sc.serve = sc.serve[:machines]
+	} else {
+		sc.serve = sc.serve[:0]
+	}
 
 	// Step 1: global ranking of chunks by centroid distance, plus the
 	// suffix minima the stop rule and exactness certificate consume.
@@ -280,6 +316,9 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 
 	indexRead := model.IndexReadTime(len(metas), chunkfile.EntrySize(dims))
 	sc.pipe.Reset(model, opts.Overlap, indexRead)
+	for t := range sc.serve {
+		sc.serve[t].Reset(model, opts.Overlap, 0)
+	}
 
 	res.IndexRead = indexRead
 	res.Elapsed = indexRead
@@ -299,8 +338,12 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 				// query degraded instead of aborting it. A skipped chunk
 				// spends no budget — the stop rule is not consulted, so the
 				// budget buys reachable chunks only.
-				sc.pipe.Stall(sc.data.Stall)
+				stall := sc.data.Stall
 				sc.data.Stall = 0
+				sc.pipe.Stall(stall)
+				if len(sc.serve) > 0 {
+					sc.serve[owner].Stall(stall)
+				}
 				res.ChunksSkipped++
 				res.Degraded = true
 				if e := sc.pipe.Elapsed(); e > res.Elapsed {
@@ -310,10 +353,25 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 			}
 			return err
 		}
-		sc.pipe.Stall(sc.data.Stall)
+		stall := sc.data.Stall
 		sc.data.Stall = 0
+		sc.pipe.Stall(stall)
 		sc.d2 = ScanChunk(q, dims, &sc.data, heap, sc.d2)
+		resident := len(sc.serve) > 0 && model.ChunkResident(rc.Idx)
 		elapsed := sc.pipe.ChunkAt(rc.Idx, m.Bytes, m.Count)
+		if len(sc.serve) > 0 {
+			// Mirror the nominal charge on the ledger: the stall bills the
+			// owning machine (it performed the retries), the chunk bills
+			// the machine that actually served the read, at the same cache
+			// residency the nominal ChunkAt observes (probed before ChunkAt
+			// moves the cache tier).
+			served := int(sc.data.Served)
+			if served < 0 || served >= len(sc.serve) {
+				served = owner
+			}
+			sc.serve[owner].Stall(stall)
+			sc.serve[served].ChunkCharged(m.Bytes, m.Count, resident)
+		}
 		res.ChunksRead++
 		res.Elapsed = elapsed
 
@@ -342,6 +400,10 @@ func (s *Searcher) SearchInto(q vec.Vector, opts Options, res *Result) error {
 		// degraded result is never provably exact.
 		res.Exact = false
 	}
+	for t := range sc.serve {
+		ledger = append(ledger, sc.serve[t].Elapsed())
+	}
+	res.Machines = ledger
 	res.Neighbors = heap.SortedInto(neighbors)
 	res.Wall = time.Since(start)
 	return nil

@@ -171,10 +171,17 @@ func (m *Metrics) Record(o Outcome, wall time.Duration, chunksRead int, degraded
 // budget instead of being shed.
 func (m *Metrics) RecordBestEffort() { m.bestEffort.Add(1) }
 
-// ShardState is one shard's health in a Snapshot.
+// ShardState is one shard's health and serving load in a Snapshot.
 type ShardState struct {
 	Shard int  `json:"shard"`
 	Down  bool `json:"down"`
+	// Reads counts the chunk reads this shard actually served (wherever
+	// the chunks' primaries live); BilledUs is the simulated serving time
+	// the spread-reads billed-load estimator attributed to the shard, in
+	// microseconds — zero while spread reads are off. Both come from the
+	// backend's LoadReporter surface and stay zero without one.
+	Reads    int64 `json:"reads"`
+	BilledUs int64 `json:"billed_us"`
 }
 
 // CacheSnapshot is one index's decoded-chunk cache counters in a
@@ -235,6 +242,22 @@ type Snapshot struct {
 	Indexes []IndexSnapshot `json:"indexes"`
 }
 
+// fillShardLoads copies the backend's per-shard serving-load counters
+// into the shard states, when the backend reports them (LoadReporter).
+func fillShardLoads(shards []ShardState, b Backend) {
+	lr, ok := b.(LoadReporter)
+	if !ok {
+		return
+	}
+	for i, ld := range lr.ShardLoads() {
+		if i >= len(shards) {
+			break
+		}
+		shards[i].Reads = ld.Reads
+		shards[i].BilledUs = ld.Billed.Microseconds()
+	}
+}
+
 // Snapshot assembles the current metrics document. inFlight is read
 // from the limiter; reg contributes per-index and per-shard state.
 func (m *Metrics) Snapshot(inFlight int, reg *Registry) Snapshot {
@@ -267,6 +290,7 @@ func (m *Metrics) Snapshot(inFlight int, reg *Registry) Snapshot {
 				for s := 0; s < sh.Shards(); s++ {
 					is.Shards = append(is.Shards, ShardState{Shard: s, Down: sh.ShardDown(s)})
 				}
+				fillShardLoads(is.Shards, b)
 			}
 			if cs, ok := b.(CacheStatser); ok {
 				if st := cs.CacheStats(); st.Enabled {

@@ -63,6 +63,18 @@ type ShardHealth interface {
 	ProbeShard(s int) error
 }
 
+// LoadReporter is the optional serving-load surface of a sharded
+// backend: per-shard counters of the reads each shard actually served
+// and the simulated serving time the spread-reads estimator billed to
+// it — the load split proactive replica read spreading balances.
+// *repro.ShardedIndex satisfies it structurally; the metrics and index
+// endpoints include the split when present.
+type LoadReporter interface {
+	// ShardLoads returns per-shard serving-load counters, cumulative
+	// since construction or the last health reset.
+	ShardLoads() []repro.ShardLoad
+}
+
 // CacheStatser is the optional cache surface of a backend: indexes
 // opened with a decoded-chunk cache report its counters through it, and
 // the metrics endpoint includes them when present. Both *repro.Index and

@@ -842,6 +842,7 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			for sd := 0; sd < sh.Shards(); sd++ {
 				is.Shards = append(is.Shards, ShardState{Shard: sd, Down: sh.ShardDown(sd)})
 			}
+			fillShardLoads(is.Shards, b)
 		}
 		out = append(out, is)
 	}

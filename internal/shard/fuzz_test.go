@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/chunkfile"
+	"repro/internal/cluster"
+	"repro/internal/descriptor"
+	"repro/internal/imagegen"
+	"repro/internal/vec"
+)
+
+// fuzzColl lazily builds the one small collection every fuzz iteration
+// draws its cluster members from; the clusters themselves (sizes, heats,
+// shard and replication counts) are derived per-iteration from the fuzz
+// inputs.
+var fuzzFixture struct {
+	once sync.Once
+	coll *descriptor.Collection
+}
+
+func fuzzColl() *descriptor.Collection {
+	fuzzFixture.once.Do(func() {
+		ds := imagegen.MustGenerate(imagegen.DefaultConfig(512, 99))
+		fuzzFixture.coll = ds.Collection
+	})
+	return fuzzFixture.coll
+}
+
+// fuzzClusters derives a random clustering and heat vector from the fuzz
+// inputs: cluster sizes and heats come from a seeded rand.Rand, so the
+// same inputs always reproduce the same case. Roughly one case in five
+// gets an all-zero heat (the documented empty-sample fallback), and
+// individual heats are occasionally negative to exercise the clamp.
+func fuzzClusters(nclRaw uint8, seed int64) ([]*cluster.Cluster, []float64) {
+	coll := fuzzColl()
+	rng := rand.New(rand.NewSource(seed))
+	ncl := 1 + int(nclRaw)%32
+	clusters := make([]*cluster.Cluster, ncl)
+	heat := make([]float64, ncl)
+	zeroHeat := seed%5 == 0
+	for i := range clusters {
+		count := 1 + rng.Intn(40)
+		members := make([]int, count)
+		for m := range members {
+			members[m] = rng.Intn(coll.Len())
+		}
+		clusters[i] = cluster.NewFromMembers(coll, members)
+		if !zeroHeat {
+			heat[i] = rng.Float64()*3 - 0.5 // occasionally negative
+		}
+	}
+	return clusters, heat
+}
+
+// checkAssignment asserts the structural invariants every primary
+// assignment must satisfy: each cluster appears on exactly one shard and
+// each shard's list is strictly ascending (the order that keeps
+// chunk-rank tie-breaks aligned with the unsharded index).
+func checkAssignment(t *testing.T, assign [][]int, shards, ncl int) {
+	t.Helper()
+	if len(assign) != shards {
+		t.Fatalf("assignment has %d shards, want %d", len(assign), shards)
+	}
+	seen := make([]bool, ncl)
+	for s, idxs := range assign {
+		for i, ci := range idxs {
+			if ci < 0 || ci >= ncl {
+				t.Fatalf("shard %d holds out-of-range cluster %d", s, ci)
+			}
+			if seen[ci] {
+				t.Fatalf("cluster %d assigned twice", ci)
+			}
+			seen[ci] = true
+			if i > 0 && idxs[i-1] >= ci {
+				t.Fatalf("shard %d not strictly ascending: %v", s, idxs)
+			}
+		}
+	}
+	for ci, ok := range seen {
+		if !ok {
+			t.Fatalf("cluster %d unassigned", ci)
+		}
+	}
+}
+
+// FuzzPartitionHeated fuzzes the heat-balanced primary placement over
+// random cluster counts, sizes, heats, and shard counts, pinning the
+// properties the tentpole depends on: determinism, every cluster placed
+// exactly once in ascending order, the 1-shard identity, the zero-heat
+// fallback to the byte-balanced Partition, and the greedy heat-load
+// spread bound (no shard exceeds the mean load by more than one
+// cluster's load unit).
+func FuzzPartitionHeated(f *testing.F) {
+	f.Add(uint8(7), uint8(3), int64(1))
+	f.Add(uint8(0), uint8(0), int64(0))
+	f.Add(uint8(31), uint8(7), int64(2005))
+	f.Add(uint8(12), uint8(1), int64(5)) // zero heat (seed%5==0)
+	f.Add(uint8(3), uint8(6), int64(-9)) // fewer clusters than shards
+	f.Fuzz(func(t *testing.T, nclRaw, shardsRaw uint8, seed int64) {
+		clusters, heat := fuzzClusters(nclRaw, seed)
+		shards := 1 + int(shardsRaw)%8
+		dims := fuzzColl().Dims()
+		const pageSize = 4096
+
+		assign, err := PartitionHeated(clusters, shards, dims, pageSize, heat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := PartitionHeated(clusters, shards, dims, pageSize, heat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(assign, again) {
+			t.Fatal("PartitionHeated is not deterministic")
+		}
+		checkAssignment(t, assign, shards, len(clusters))
+
+		if shards == 1 {
+			for ci, got := range assign[0] {
+				if got != ci {
+					t.Fatalf("1-shard partition is not the identity at %d: %v", ci, assign[0])
+				}
+			}
+		}
+
+		if !heatUsable(heat) {
+			plain, err := Partition(clusters, shards, dims, pageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(assign, plain) {
+				t.Fatal("unusable heat did not fall back to the byte-balanced Partition")
+			}
+			return
+		}
+
+		// Greedy LPT spread bound: when a shard received its last
+		// cluster it was the least loaded, so no shard ends more than
+		// one load unit above the mean.
+		loads := make([]float64, shards)
+		var total, maxUnit float64
+		for s, idxs := range assign {
+			for _, ci := range idxs {
+				h := heat[ci]
+				if h < 0 {
+					h = 0
+				}
+				w := h * float64(chunkfile.PaddedBytes(clusters[ci].Count(), dims, pageSize))
+				loads[s] += w
+				total += w
+				if w > maxUnit {
+					maxUnit = w
+				}
+			}
+		}
+		bound := total/float64(shards) + maxUnit
+		bound += 1e-9 * (total + 1)
+		for s, load := range loads {
+			if load > bound {
+				t.Fatalf("shard %d heat-load %g exceeds greedy bound %g (total %g, max unit %g)",
+					s, load, bound, total, maxUnit)
+			}
+		}
+	})
+}
+
+// FuzzPartitionReplicatedHeated fuzzes the full replicated heat-aware
+// placement, pinning determinism, primary validity, the replica
+// contract — every logical chunk on exactly R distinct shards, no
+// replica co-located with its primary, every replica location resolving
+// to the right cluster in the holder's physical order — and the sidecar
+// round-trip (SavePlacement/LoadPlacement preserves the serving state
+// and drops the build-side state).
+func FuzzPartitionReplicatedHeated(f *testing.F) {
+	f.Add(uint8(7), uint8(3), uint8(1), int64(1))
+	f.Add(uint8(31), uint8(7), uint8(2), int64(2005))
+	f.Add(uint8(12), uint8(4), uint8(0), int64(5))
+	f.Add(uint8(20), uint8(2), uint8(9), int64(-3))
+	f.Fuzz(func(t *testing.T, nclRaw, shardsRaw, repRaw uint8, seed int64) {
+		clusters, heat := fuzzClusters(nclRaw, seed)
+		shards := 1 + int(shardsRaw)%8
+		rep := 1 + int(repRaw)%3
+		if rep > shards {
+			rep = shards
+		}
+		dims := fuzzColl().Dims()
+		const pageSize = 4096
+
+		p, err := PartitionReplicatedHeated(clusters, shards, rep, dims, pageSize, heat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := PartitionReplicatedHeated(clusters, shards, rep, dims, pageSize, heat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatal("PartitionReplicatedHeated is not deterministic")
+		}
+		checkAssignment(t, p.Primary, shards, len(clusters))
+		if p.R != rep {
+			t.Fatalf("placement R %d, want %d", p.R, rep)
+		}
+		for s := range p.Primary {
+			if p.NumPrimary[s] != len(p.Primary[s]) {
+				t.Fatalf("shard %d NumPrimary %d != %d primaries", s, p.NumPrimary[s], len(p.Primary[s]))
+			}
+		}
+
+		for s := range p.Primary {
+			for i, ci := range p.Primary[s] {
+				locs := p.Replicas[s][i]
+				if len(locs) != rep-1 {
+					t.Fatalf("cluster %d: %d replicas, want %d", ci, len(locs), rep-1)
+				}
+				onShard := map[int32]bool{int32(s): true}
+				for _, loc := range locs {
+					if onShard[loc.Shard] {
+						t.Fatalf("cluster %d: copies co-located on shard %d", ci, loc.Shard)
+					}
+					onShard[loc.Shard] = true
+					ti := int(loc.Chunk) - p.NumPrimary[loc.Shard]
+					if ti < 0 || ti >= len(p.Extra[loc.Shard]) {
+						t.Fatalf("cluster %d: replica chunk %d outside shard %d's extras", ci, loc.Chunk, loc.Shard)
+					}
+					if p.Extra[loc.Shard][ti] != ci {
+						t.Fatalf("cluster %d: replica slot holds cluster %d", ci, p.Extra[loc.Shard][ti])
+					}
+				}
+			}
+		}
+
+		path := filepath.Join(t.TempDir(), PlacementName)
+		if err := SavePlacement(path, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadPlacement(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.R != p.R || !reflect.DeepEqual(got.NumPrimary, p.NumPrimary) {
+			t.Fatal("placement sidecar round trip differs")
+		}
+		// Replica lists compare element-wise: LoadPlacement materializes
+		// an R=1 chunk's empty list as empty, the builder leaves it nil.
+		for s := range p.Replicas {
+			for i := range p.Replicas[s] {
+				a, b := p.Replicas[s][i], got.Replicas[s][i]
+				if len(a) != len(b) {
+					t.Fatalf("round trip shard %d chunk %d: %d replicas became %d", s, i, len(a), len(b))
+				}
+				for r := range a {
+					if a[r] != b[r] {
+						t.Fatalf("round trip shard %d chunk %d replica %d: %+v != %+v", s, i, r, b[r], a[r])
+					}
+				}
+			}
+		}
+		if got.Primary != nil || got.Extra != nil {
+			t.Fatal("loaded placement carries build-side state")
+		}
+	})
+}
+
+// TestHeatZeroFallback pins the documented zero-heat fallback of Heat
+// and its consumers: an empty or nil sample, dimension-mismatched
+// queries, or no clusters yield an all-zero (never fabricated) heat, a
+// topM of zero selects the default of 5 votes per query, and both
+// partition entry points treat an all-zero heat exactly like nil.
+func TestHeatZeroFallback(t *testing.T) {
+	coll := fuzzColl()
+	rng := rand.New(rand.NewSource(42))
+	clusters := make([]*cluster.Cluster, 12)
+	for i := range clusters {
+		members := make([]int, 8)
+		for m := range members {
+			members[m] = rng.Intn(coll.Len())
+		}
+		clusters[i] = cluster.NewFromMembers(coll, members)
+	}
+	dims := coll.Dims()
+	good := coll.Vec(7)
+	bad := make(vec.Vector, dims+3)
+
+	sum := func(h []float64) float64 {
+		var s float64
+		for _, x := range h {
+			s += x
+		}
+		return s
+	}
+
+	cases := []struct {
+		name     string
+		clusters []*cluster.Cluster
+		sample   []vec.Vector
+		topM     int
+		wantLen  int
+		wantSum  float64
+	}{
+		{"nil sample", clusters, nil, 5, len(clusters), 0},
+		{"empty sample", clusters, []vec.Vector{}, 5, len(clusters), 0},
+		{"no clusters", nil, []vec.Vector{good}, 5, 0, 0},
+		{"topM zero defaults to 5", clusters, []vec.Vector{good, coll.Vec(11)}, 0, len(clusters), 10},
+		{"topM capped at cluster count", clusters, []vec.Vector{good}, 99, len(clusters), float64(len(clusters))},
+		{"dims mismatch skipped", clusters, []vec.Vector{bad, bad}, 5, len(clusters), 0},
+		{"mixed sample votes once", clusters, []vec.Vector{bad, good}, 5, len(clusters), 5},
+	}
+	for _, tc := range cases {
+		heat := Heat(tc.clusters, tc.sample, tc.topM)
+		if len(heat) != tc.wantLen {
+			t.Fatalf("%s: heat length %d, want %d", tc.name, len(heat), tc.wantLen)
+		}
+		for i, h := range heat {
+			if h < 0 {
+				t.Fatalf("%s: negative heat %g at %d", tc.name, h, i)
+			}
+		}
+		if got := sum(heat); got != tc.wantSum {
+			t.Fatalf("%s: total votes %g, want %g", tc.name, got, tc.wantSum)
+		}
+	}
+
+	// An all-zero heat must behave exactly like nil in both consumers.
+	const pageSize = 4096
+	zeros := make([]float64, len(clusters))
+	heated, err := PartitionHeated(clusters, 3, dims, pageSize, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Partition(clusters, 3, dims, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heated, plain) {
+		t.Fatal("all-zero heat did not fall back to byte-balanced Partition")
+	}
+	pz, err := PartitionReplicatedHeated(clusters, 3, 2, dims, pageSize, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := PartitionReplicatedHeated(clusters, 3, 2, dims, pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pz, pn) {
+		t.Fatal("all-zero heat placed replicas differently from nil heat")
+	}
+
+	// A heat vector of the wrong length is a build error, not a silent
+	// reinterpretation.
+	if _, err := PartitionHeated(clusters, 3, dims, pageSize, zeros[:3]); err == nil {
+		t.Fatal("PartitionHeated accepted a mismatched heat length")
+	}
+	if _, err := PartitionReplicatedHeated(clusters, 3, 2, dims, pageSize, zeros[:3]); err == nil {
+		t.Fatal("PartitionReplicatedHeated accepted a mismatched heat length")
+	}
+}

@@ -55,6 +55,7 @@ import (
 // owning shard's store, so the virtual store inherits the Store
 // contract's concurrent-ReadChunk safety from the shard stores.
 type globalStore struct {
+	r      *Router
 	stores []chunkfile.Store
 	dims   int
 	metas  []chunkfile.Meta
@@ -65,12 +66,13 @@ type globalStore struct {
 // newGlobalStore concatenates the shards' logical chunk indexes (the
 // primary prefixes): replica chunks are copies, never ranked or walked,
 // and every read goes through the views' replicated read path.
-func newGlobalStore(shards []routedShard, dims int) *globalStore {
+func newGlobalStore(r *Router, shards []routedShard, dims int) *globalStore {
 	total := 0
 	for s := range shards {
 		total += len(shards[s].view.Meta())
 	}
 	g := &globalStore{
+		r:      r,
 		dims:   dims,
 		metas:  make([]chunkfile.Meta, 0, total),
 		owner:  make([]int32, 0, total),
@@ -106,6 +108,19 @@ func (g *globalStore) ReadChunk(i int, data *chunkfile.Data) error {
 // stores and closes them in Router.Close.
 func (g *globalStore) Close() error { return nil }
 
+// Machines implements chunkfile.MachineRouter: with the router's
+// spread-reads policy on, a read through the virtual store may be served
+// by any machine of the fleet, and the owner is per chunk — reported as
+// -1 so consumers bill stalls through their own chunk→shard mapping
+// (the engine's opts.Shards, SearchGlobalInto's gstore.owner). With
+// spread off it reports one machine, disabling per-machine accounting.
+func (g *globalStore) Machines() (count, owner int) {
+	if g.r.spread.Load() {
+		return len(g.stores), -1
+	}
+	return 1, 0
+}
+
 // gscratch is the pooled per-call state of one global-budget single
 // query: the merged ranking, its suffix bounds, the scan buffers, the
 // global k-NN heap, and one pipeline plus served-chunk counter per shard.
@@ -119,6 +134,12 @@ type gscratch struct {
 	counts []int
 	skips  []int
 	events []knn.Neighbor
+	// serve and inits carry the spread-reads serving ledger: one
+	// zero-origin pipeline per shard billing the machine that actually
+	// served each read, plus each shard's index-read origin to add back
+	// when folding. Empty while spread reads are off.
+	serve []simdisk.Pipeline
+	inits []time.Duration
 }
 
 // SearchGlobal runs one query under the global budget discipline and
@@ -191,6 +212,19 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 		sc.skips = make([]int, n)
 	}
 	skips := sc.skips[:n]
+	// With spread reads on, a parallel zero-origin serving ledger per
+	// shard records which machine each read actually landed on; the
+	// nominal pipes keep billing owners and driving the stop rule, so
+	// answers are independent of the routing policy.
+	if r.spread.Load() {
+		if cap(sc.serve) < n {
+			sc.serve = make([]simdisk.Pipeline, n)
+		}
+		sc.serve = sc.serve[:n]
+	} else {
+		sc.serve = sc.serve[:0]
+	}
+	sc.inits = sc.inits[:0]
 	entrySize := chunkfile.EntrySize(r.dims)
 	indexRead := time.Duration(0)
 	for s := range pipes {
@@ -198,6 +232,10 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 		pipes[s].Reset(model, opts.Overlap, init)
 		counts[s] = 0
 		skips[s] = 0
+		if len(sc.serve) > 0 {
+			sc.serve[s].Reset(model, opts.Overlap, 0)
+			sc.inits = append(sc.inits, init)
+		}
 		if init > indexRead {
 			indexRead = init
 		}
@@ -233,6 +271,9 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 				// the failed attempts, skip the chunk without spending
 				// budget, and degrade. Same contract as the per-shard path.
 				pipes[s].Stall(sc.data.Stall)
+				if len(sc.serve) > 0 {
+					sc.serve[s].Stall(sc.data.Stall)
+				}
 				sc.data.Stall = 0
 				skips[s]++
 				res.ChunksSkipped++
@@ -245,10 +286,23 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 			res.Neighbors, res.PerShard = neighbors, perShard
 			return &ShardError{Shard: int(s), Err: err}
 		}
-		pipes[s].Stall(sc.data.Stall)
+		stall := sc.data.Stall
 		sc.data.Stall = 0
+		pipes[s].Stall(stall)
 		sc.d2 = search.ScanChunk(q, r.dims, &sc.data, heap, sc.d2)
+		resident := len(sc.serve) > 0 && model.ChunkResident(rc.Idx)
 		elapsed := pipes[s].ChunkAt(rc.Idx, m.Bytes, m.Count)
+		if len(sc.serve) > 0 {
+			// The stall bills the owning shard (its view ran the retries);
+			// the chunk bills the machine that actually served the read,
+			// at the residency the nominal ChunkAt sees.
+			served := int(sc.data.Served)
+			if served < 0 || served >= len(sc.serve) {
+				served = int(s)
+			}
+			sc.serve[s].Stall(stall)
+			sc.serve[served].ChunkCharged(m.Bytes, m.Count, resident)
+		}
 		if elapsed < res.Elapsed {
 			elapsed = res.Elapsed
 		}
@@ -288,6 +342,23 @@ func (r *Router) SearchGlobalInto(q vec.Vector, opts search.Options, res *Result
 			Elapsed:       pipes[s].Elapsed(),
 			Exact:         res.Exact,
 		})
+	}
+	if len(sc.serve) > 0 {
+		// Fold the serving ledger: each shard's real clock is its own
+		// index read plus the serving time billed to it, and the merged
+		// Simulated is the max over those clocks — the machines run in
+		// parallel. The stop rule above already consumed the nominal
+		// owner-billed elapsed, so answers are unchanged; with spread on,
+		// only the reported times move. Trace events stay nominal.
+		folded := time.Duration(0)
+		for t := range sc.serve {
+			e := sc.inits[t] + sc.serve[t].Elapsed()
+			perShard[t].Elapsed = e
+			if e > folded {
+				folded = e
+			}
+		}
+		res.Elapsed = folded
 	}
 	res.PerShard = perShard
 	res.ShardsDown = r.DownShards()

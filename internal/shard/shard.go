@@ -142,6 +142,19 @@ func (v *shardView) ReadChunk(i int, data *chunkfile.Data) error {
 // physical stores and closes them in Router.Close.
 func (v *shardView) Close() error { return nil }
 
+// Machines implements chunkfile.MachineRouter: with the router's
+// spread-reads policy on, a read through this view may be served by any
+// machine of the fleet, and the view's own shard is the owner every
+// stall bills to. With spread off it reports a single machine, which
+// disables per-machine accounting and keeps the spread-off search paths
+// byte-identical to the pre-spread router.
+func (v *shardView) Machines() (count, owner int) {
+	if v.r.spread.Load() {
+		return len(v.r.shards), v.shard
+	}
+	return 1, v.shard
+}
+
 // Router serves queries scatter-gather across a set of shards. It is safe
 // for concurrent use.
 //
@@ -168,6 +181,16 @@ type Router struct {
 	down      []atomic.Bool
 	loads     []atomic.Int64
 	downCount atomic.Int32
+	// Spread-reads policy state (SetSpreadReads): when on, readChunk
+	// picks among all live copies by billed simulated load instead of
+	// defaulting to the primary, and the search layers keep per-machine
+	// serving ledgers the merges fold into Simulated. billed[s] is the
+	// estimator: the simulated nanoseconds of the reads shard s is
+	// serving or has served (charged before the read — so an in-flight
+	// read already repels the next routing choice — and rolled back if
+	// the read fails over).
+	spread atomic.Bool
+	billed []atomic.Int64
 	// gstore is the virtual concatenated store the global-budget mode
 	// ranks and reads through; gengine is the chunk-major batch engine
 	// over it, configured per run with the chunk→shard machine mapping.
@@ -206,6 +229,7 @@ type scatter struct {
 	batch  [][]search.Result // one arena per shard (batch scatter)
 	rows   []*search.Result  // merge view: one shard's result for one query
 	cur    []int             // merge cursors, one per shard
+	times  []time.Duration   // folded spread-reads clocks, one per shard
 	errs   []error
 }
 
@@ -249,6 +273,21 @@ func NewReplicatedRouter(stores []chunkfile.Store, placement *Placement, model *
 // configuration. The cache serves the replicated read path only; probes
 // and direct Store(i) access always observe the disk.
 func NewReplicatedRouterCached(stores []chunkfile.Store, placement *Placement, model *simdisk.Model, cache CacheConfig) (*Router, error) {
+	return NewReplicatedRouterWith(stores, placement, model, RouterOptions{Cache: cache})
+}
+
+// RouterOptions bundles the optional knobs of a replicated router.
+type RouterOptions struct {
+	// Cache configures the decoded-chunk cache (see CacheConfig).
+	Cache CacheConfig
+	// SpreadReads starts the router with the spread-reads routing policy
+	// on (see Router.SetSpreadReads).
+	SpreadReads bool
+}
+
+// NewReplicatedRouterWith is NewReplicatedRouter with options.
+func NewReplicatedRouterWith(stores []chunkfile.Store, placement *Placement, model *simdisk.Model, opts RouterOptions) (*Router, error) {
+	cache := opts.Cache
 	if len(stores) == 0 {
 		return nil, errors.New("shard: no stores")
 	}
@@ -262,6 +301,8 @@ func NewReplicatedRouterCached(stores []chunkfile.Store, placement *Placement, m
 	r := &Router{dims: dims, model: model, placement: placement}
 	r.down = make([]atomic.Bool, len(stores))
 	r.loads = make([]atomic.Int64, len(stores))
+	r.billed = make([]atomic.Int64, len(stores))
+	r.spread.Store(opts.SpreadReads)
 	for i, st := range stores {
 		if st.Dims() != dims {
 			return nil, fmt.Errorf("shard: shard %d dims %d != shard 0 dims %d", i, st.Dims(), dims)
@@ -290,7 +331,7 @@ func NewReplicatedRouterCached(stores []chunkfile.Store, placement *Placement, m
 		sh.searcher = search.New(sh.view, model)
 		sh.engine = batchexec.New(sh.view, model)
 	}
-	r.gstore = newGlobalStore(r.shards, dims)
+	r.gstore = newGlobalStore(r, r.shards, dims)
 	r.gengine = batchexec.New(r.gstore, model)
 	r.scratch.New = func() any { return &scatter{} }
 	r.gpool.New = func() any { return &gscratch{} }
@@ -341,6 +382,48 @@ func validatePlacement(stores []chunkfile.Store, p *Placement) error {
 
 // Shards returns the shard count.
 func (r *Router) Shards() int { return len(r.shards) }
+
+// SetSpreadReads toggles the spread-reads routing policy. With it on,
+// readChunk serves every read from the live copy (primary or replica)
+// with the least billed simulated load instead of preferring the
+// primary, so hot chunks with R > 1 stop concentrating on one machine —
+// and the search layers keep a per-machine serving ledger whose fold
+// replaces the merged Simulated with the real max over the machines'
+// serving clocks. Healthy results are byte-identical either way — only
+// Simulated and the per-shard load attribution move — and the failover,
+// health and cache semantics are unchanged: down shards are never
+// candidates, stalls still bill the owning shard, and a revive still
+// invalidates the shard's cache. Safe to call concurrently; a query in
+// flight during a toggle keeps its answers but may report the nominal
+// owner-billed Simulated for that one call.
+func (r *Router) SetSpreadReads(on bool) { r.spread.Store(on) }
+
+// SpreadReads reports whether the spread-reads routing policy is on.
+func (r *Router) SpreadReads() bool { return r.spread.Load() }
+
+// ShardLoad is one shard's serving-load counters: the chunk reads it has
+// actually served (wherever the chunks' primaries live) and the
+// simulated serving time the spread-reads billed-load estimator has
+// attributed to it — zero while spread reads are off, since the
+// estimator only runs for spread routing decisions.
+type ShardLoad struct {
+	Reads  int64
+	Billed time.Duration
+}
+
+// ShardLoads appends per-shard serving-load counters to dst (pass nil to
+// allocate), cumulative since construction or the last ResetHealth — the
+// per-shard load split the spread-reads policy balances and the serving
+// metrics expose.
+func (r *Router) ShardLoads(dst []ShardLoad) []ShardLoad {
+	for s := range r.shards {
+		dst = append(dst, ShardLoad{
+			Reads:  r.loads[s].Load(),
+			Billed: time.Duration(r.billed[s].Load()),
+		})
+	}
+	return dst
+}
 
 // Store returns shard i's physical chunk store (primary chunks followed
 // by any replica chunks placed on it).
@@ -435,6 +518,7 @@ func (r *Router) ResetHealth() {
 			r.downCount.Add(-1)
 		}
 		r.loads[s].Store(0)
+		r.billed[s].Store(0)
 		if c := r.shards[s].cached; c != nil {
 			c.Invalidate()
 		}
@@ -487,16 +571,27 @@ func isTemporary(err error) bool {
 // readChunk serves logical chunk i of shard s from the least-loaded live
 // placement: the primary first (shard s itself, physical chunk i), then
 // the placement's replicas, each attempt bounded by the retry policy.
+// The load a candidate is judged by depends on the routing policy: with
+// spread reads off it is the served-read count (loads), with spread
+// reads on it is the billed simulated serving time (billed) — charged
+// optimistically *before* the attempt, so concurrent reads see each
+// other's in-flight work, and rolled back if the attempt fails. Ties
+// prefer the primary, then earlier replicas, under both policies.
+//
 // The simulated cost of every failed attempt — retries, backoff, and
 // failed placements — is accumulated into data.Stall, charged by the
 // consumer to the pipeline of the *owning* shard s: in the cost model
 // shard s's machine is the one serving (and retrying) its own chunks,
-// replica choice being a real-time load-balancing effect. When no
-// placement can serve the chunk the error wraps ErrAllReplicasDown (and
-// so chunkfile.ErrUnavailable), with data.Stall still reporting the cost
-// of the attempts made.
+// replica choice being a real-time load-balancing effect. data.Served
+// names the shard that served the read (the owner on failure), which the
+// spread-reads serving ledgers bill the chunk to. When no placement can
+// serve the chunk the error wraps ErrAllReplicasDown (and so
+// chunkfile.ErrUnavailable), with data.Stall still reporting the cost of
+// the attempts made.
 func (r *Router) readChunk(s, i int, data *chunkfile.Data) error {
 	data.Stall = 0
+	data.Served = int32(s)
+	spread := r.spread.Load()
 	replicas := r.placement.Replicas[s][i]
 	nCand := 1 + len(replicas)
 	var stall time.Duration
@@ -521,7 +616,11 @@ func (r *Router) readChunk(s, i int, data *chunkfile.Data) error {
 				}
 				continue
 			}
-			if load := r.loads[cs].Load(); best < 0 || load < bestLoad {
+			load := r.loads[cs].Load()
+			if spread {
+				load = r.billed[cs].Load()
+			}
+			if best < 0 || load < bestLoad {
 				best, bestLoad = c, load
 			}
 		}
@@ -533,11 +632,21 @@ func (r *Router) readChunk(s, i int, data *chunkfile.Data) error {
 		if best > 0 {
 			cs, ci = int(replicas[best-1].Shard), int(replicas[best-1].Chunk)
 		}
+		var cost int64
+		if spread {
+			m := &r.shards[cs].store.Meta()[ci]
+			cost = int64(r.model.ReadTime(m.Bytes) + r.model.CPUTime(m.Count))
+			r.billed[cs].Add(cost)
+		}
 		if err := r.attemptRead(cs, ci, data, &stall); err != nil {
+			if spread {
+				r.billed[cs].Add(-cost)
+			}
 			lastErr = err
 			continue
 		}
 		r.loads[cs].Add(1)
+		data.Served = int32(cs)
 		data.Stall = stall
 		return nil
 	}
@@ -659,6 +768,23 @@ func (r *Router) SearchInto(q vec.Vector, opts search.Options, res *Result) erro
 			Exact:         row.Exact,
 		})
 	}
+	if r.spread.Load() {
+		// With spread reads on, replace the nominal owner-billed times
+		// with the fold of the serving ledgers: what each machine really
+		// spent once reads moved to the least-loaded copies. Neighbors,
+		// ChunksRead and Exact were merged above from the nominal walks
+		// and are identical either way.
+		if times, ok := foldSpread(sc.rows, sc.times); ok {
+			sc.times = times
+			res.Elapsed = 0
+			for t, e := range times {
+				perShard[t].Elapsed = e
+				if e > res.Elapsed {
+					res.Elapsed = e
+				}
+			}
+		}
+	}
 	res.PerShard = perShard
 	res.ShardsDown = r.DownShards()
 	res.Wall = time.Since(start)
@@ -723,6 +849,7 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 	}
 
 	wall := time.Since(start)
+	spread := r.spread.Load()
 	for qi := range results {
 		sc.rows = sc.rows[:0]
 		for s := 0; s < n; s++ {
@@ -744,6 +871,20 @@ func (r *Router) RunBatch(queries []vec.Vector, opts batchexec.Options, results 
 			}
 			res.Exact = res.Exact && row.Exact
 			res.Degraded = res.Degraded || row.Degraded
+		}
+		if spread {
+			// Spread reads on: the merged Simulated is the fold of the
+			// serving ledgers, not the nominal owner-billed max. Answers
+			// merged above are identical either way.
+			if times, ok := foldSpread(sc.rows, sc.times); ok {
+				sc.times = times
+				res.Elapsed = 0
+				for _, e := range times {
+					if e > res.Elapsed {
+						res.Elapsed = e
+					}
+				}
+			}
 		}
 		res.Wall = wall
 	}
@@ -828,6 +969,19 @@ func (r *Router) RunBatchStream(queries []vec.Vector, opts batchexec.Options, re
 			}
 			res.Exact = res.Exact && row.Exact
 			res.Degraded = res.Degraded || row.Degraded
+		}
+		if r.spread.Load() {
+			// Same serving-ledger fold as RunBatch; mergeMu already
+			// serializes access to the scatter's fold scratch.
+			if times, ok := foldSpread(sc.rows, sc.times); ok {
+				sc.times = times
+				res.Elapsed = 0
+				for _, e := range times {
+					if e > res.Elapsed {
+						res.Elapsed = e
+					}
+				}
+			}
 		}
 		res.Wall = time.Since(start)
 		mergeMu.Unlock()
@@ -944,6 +1098,34 @@ func mergeNeighbors(rows []*search.Result, k int, dst []knn.Neighbor, cur []int)
 		cur[best]++
 	}
 	return dst, cur
+}
+
+// foldSpread folds the shards' spread-reads serving ledgers into real
+// per-shard clocks: machine t's clock is its own index read plus every
+// serving charge any shard's walk billed to it — times[t] =
+// rows[t].IndexRead + Σ_w rows[w].Machines[t]. The merged Simulated is
+// then the max over times (the machines run in parallel), replacing the
+// nominal owner-billed max. Reports ok=false — keep the nominal times —
+// when any row carries no ledger or a ledger of the wrong width, e.g.
+// when spread reads were toggled while the scatter was in flight.
+func foldSpread(rows []*search.Result, times []time.Duration) ([]time.Duration, bool) {
+	n := len(rows)
+	if cap(times) < n {
+		times = make([]time.Duration, n)
+	}
+	times = times[:n]
+	for t := range times {
+		times[t] = rows[t].IndexRead
+	}
+	for _, row := range rows {
+		if len(row.Machines) != n {
+			return times, false
+		}
+		for t, d := range row.Machines {
+			times[t] += d
+		}
+	}
+	return times, true
 }
 
 // foldCost folds one shard's costs into the merged result: chunks (read

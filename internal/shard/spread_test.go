@@ -1,0 +1,364 @@
+package shard
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunkfile"
+	"repro/internal/cluster"
+	"repro/internal/faultstore"
+	"repro/internal/imagegen"
+	"repro/internal/search"
+	"repro/internal/search/batchexec"
+	"repro/internal/vec"
+)
+
+// spreadRouterOver builds a replicated router over fresh MemStores of
+// the same deterministic placement. Every call gets its own stores,
+// cache, and load counters, so a spread-off and a spread-on router never
+// share mutable state.
+func spreadRouterOver(t testing.TB, ds *imagegen.Dataset, clusters []*cluster.Cluster, shards, replication, pageSize int, opts RouterOptions) *Router {
+	t.Helper()
+	coll := ds.Collection
+	p, err := PartitionReplicated(clusters, shards, replication, coll.Dims(), pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]chunkfile.Store, shards)
+	for s := 0; s < shards; s++ {
+		physical := append(append([]int(nil), p.Primary[s]...), p.Extra[s]...)
+		stores[s] = chunkfile.NewMemStore(coll, Select(clusters, physical), pageSize)
+	}
+	r, err := NewReplicatedRouterWith(stores, p, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSpreadReadsAnswerEquivalenceMatrix pins the spread-reads tentpole
+// guarantee: with every shard healthy, turning the policy on changes
+// nothing about the answers — neighbors, exactness, and ChunksRead are
+// byte-identical to primary-only routing — across all three stop rules,
+// both budget disciplines (per-shard and global), the batch path, the
+// decoded-chunk cache on and off, and R ∈ {1, 2}. At R=1 there is only
+// one copy of every chunk, so even the merged simulated time must come
+// out exactly equal: the serve ledgers then bill precisely what the
+// nominal pipelines bill.
+func TestSpreadReadsAnswerEquivalenceMatrix(t *testing.T) {
+	ds, clusters := fixture(t, 4000, 17, 130)
+	coll := ds.Collection
+	const shards, pageSize, k = 4, 4096, 20
+
+	queryIdx := []int{3, 555, 1234, 3999}
+	queries := make([]vec.Vector, len(queryIdx))
+	for i, pos := range queryIdx {
+		queries[i] = coll.Vec(pos)
+	}
+
+	for _, replication := range []int{1, 2} {
+		for _, cache := range []struct {
+			name string
+			cfg  CacheConfig
+		}{
+			{"nocache", CacheConfig{}},
+			{"cache", CacheConfig{Bytes: 1 << 20}},
+		} {
+			off := spreadRouterOver(t, ds, clusters, shards, replication, pageSize, RouterOptions{Cache: cache.cfg})
+			on := spreadRouterOver(t, ds, clusters, shards, replication, pageSize, RouterOptions{Cache: cache.cfg, SpreadReads: true})
+			if off.SpreadReads() || !on.SpreadReads() {
+				t.Fatalf("R=%d %s: SpreadReads off=%v on=%v", replication, cache.name, off.SpreadReads(), on.SpreadReads())
+			}
+			for ri, stop := range stopRules() {
+				label := "R=" + strconv.Itoa(replication) + "/" + cache.name + "/rule" + strconv.Itoa(ri)
+				opts := search.Options{K: k, Stop: stop}
+				for _, q := range queries {
+					var want, got Result
+					if err := off.SearchInto(q, opts, &want); err != nil {
+						t.Fatal(err)
+					}
+					if err := on.SearchInto(q, opts, &got); err != nil {
+						t.Fatal(err)
+					}
+					sameAnswer(t, label+"/search", &got, &want)
+					if replication == 1 && got.Elapsed != want.Elapsed {
+						t.Fatalf("%s/search: R=1 spread-on Elapsed %v != spread-off %v", label, got.Elapsed, want.Elapsed)
+					}
+
+					if err := off.SearchGlobalInto(q, opts, &want); err != nil {
+						t.Fatal(err)
+					}
+					if err := on.SearchGlobalInto(q, opts, &got); err != nil {
+						t.Fatal(err)
+					}
+					sameAnswer(t, label+"/global", &got, &want)
+					if replication == 1 && got.Elapsed != want.Elapsed {
+						t.Fatalf("%s/global: R=1 spread-on Elapsed %v != spread-off %v", label, got.Elapsed, want.Elapsed)
+					}
+				}
+
+				bopts := batchexec.Options{K: k, Stop: stop}
+				want := make([]search.Result, len(queries))
+				got := make([]search.Result, len(queries))
+				if err := off.RunBatch(queries, bopts, want); err != nil {
+					t.Fatal(err)
+				}
+				if err := on.RunBatch(queries, bopts, got); err != nil {
+					t.Fatal(err)
+				}
+				for qi := range queries {
+					g, w := &got[qi], &want[qi]
+					if g.Exact != w.Exact || g.ChunksRead != w.ChunksRead || len(g.Neighbors) != len(w.Neighbors) {
+						t.Fatalf("%s/batch q%d: (exact %v, chunks %d, %d neighbors) != (exact %v, chunks %d, %d neighbors)",
+							label, qi, g.Exact, g.ChunksRead, len(g.Neighbors), w.Exact, w.ChunksRead, len(w.Neighbors))
+					}
+					for i := range w.Neighbors {
+						if g.Neighbors[i] != w.Neighbors[i] {
+							t.Fatalf("%s/batch q%d rank %d: %+v != %+v", label, qi, i, g.Neighbors[i], w.Neighbors[i])
+						}
+					}
+					if replication == 1 && g.Elapsed != w.Elapsed {
+						t.Fatalf("%s/batch q%d: R=1 spread-on Elapsed %v != spread-off %v", label, qi, g.Elapsed, w.Elapsed)
+					}
+				}
+
+				if err := off.RunBatchGlobal(queries, bopts, want); err != nil {
+					t.Fatal(err)
+				}
+				if err := on.RunBatchGlobal(queries, bopts, got); err != nil {
+					t.Fatal(err)
+				}
+				for qi := range queries {
+					g, w := &got[qi], &want[qi]
+					if g.Exact != w.Exact || g.ChunksRead != w.ChunksRead || len(g.Neighbors) != len(w.Neighbors) {
+						t.Fatalf("%s/batchglobal q%d: answers differ from spread-off", label, qi)
+					}
+					for i := range w.Neighbors {
+						if g.Neighbors[i] != w.Neighbors[i] {
+							t.Fatalf("%s/batchglobal q%d rank %d: %+v != %+v", label, qi, i, g.Neighbors[i], w.Neighbors[i])
+						}
+					}
+					if replication == 1 && g.Elapsed != w.Elapsed {
+						t.Fatalf("%s/batchglobal q%d: R=1 spread-on Elapsed %v != spread-off %v", label, qi, g.Elapsed, w.Elapsed)
+					}
+				}
+			}
+			if err := off.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := on.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestSpreadReadsSplitsLoad pins the point of the policy: under a
+// replicated layout with spread reads on, a completion workload's served
+// reads land on every shard's billed estimator (nonzero billed time on
+// at least two shards), the total served-read count equals the total
+// chunks read, and the billed split is visible through ShardLoads. The
+// spread-off router, by contrast, bills nothing — the estimator only
+// runs for spread routing decisions. Queries go through the single-query
+// scatter, where every charged chunk is one served read (the chunk-major
+// batch engine would read each chunk once for many queries).
+func TestSpreadReadsSplitsLoad(t *testing.T) {
+	ds, clusters := fixture(t, 4000, 17, 130)
+	coll := ds.Collection
+	const shards, pageSize, k = 4, 4096, 10
+
+	queries := make([]vec.Vector, 24)
+	for i := range queries {
+		queries[i] = coll.Vec(i * 151)
+	}
+
+	for _, spread := range []bool{false, true} {
+		r := spreadRouterOver(t, ds, clusters, shards, 2, pageSize, RouterOptions{SpreadReads: spread})
+		total := 0
+		var res Result
+		for _, q := range queries {
+			if err := r.SearchInto(q, search.Options{K: k}, &res); err != nil {
+				t.Fatal(err)
+			}
+			total += res.ChunksRead
+		}
+		loads := r.ShardLoads(nil)
+		if len(loads) != shards {
+			t.Fatalf("spread=%v: ShardLoads returned %d entries, want %d", spread, len(loads), shards)
+		}
+		var reads int64
+		billedOn := 0
+		for _, ld := range loads {
+			reads += ld.Reads
+			if ld.Billed > 0 {
+				billedOn++
+			}
+		}
+		if reads != int64(total) {
+			t.Fatalf("spread=%v: ShardLoads reads %d != total ChunksRead %d", spread, reads, total)
+		}
+		if spread && billedOn < 2 {
+			t.Fatalf("spread on: billed time on %d shards, want >= 2 (loads %+v)", billedOn, loads)
+		}
+		if !spread && billedOn != 0 {
+			t.Fatalf("spread off: billed estimator ran on %d shards, want 0 (loads %+v)", billedOn, loads)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// spreadFaultRouterOver is spreadRouterOver with fault injectors wrapped
+// around the stores, for the failover composition tests.
+func spreadFaultRouterOver(t testing.TB, ds *imagegen.Dataset, clusters []*cluster.Cluster, shards, replication, pageSize int, cfg faultstore.Config) (*Router, []*faultstore.Store) {
+	t.Helper()
+	coll := ds.Collection
+	p, err := PartitionReplicated(clusters, shards, replication, coll.Dims(), pageSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]chunkfile.Store, shards)
+	faults := make([]*faultstore.Store, shards)
+	for s := 0; s < shards; s++ {
+		physical := append(append([]int(nil), p.Primary[s]...), p.Extra[s]...)
+		faults[s] = faultstore.Wrap(chunkfile.NewMemStore(coll, Select(clusters, physical), pageSize), cfg)
+		stores[s] = faults[s]
+	}
+	r, err := NewReplicatedRouterWith(stores, p, nil, RouterOptions{SpreadReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, faults
+}
+
+// TestSpreadReadsKillAnyShardMatchesHealthy pins that the failover
+// semantics of PR 6 compose unchanged with spread routing: with R=2 and
+// spread reads on, killing any single shard still yields answers
+// byte-identical to a healthy spread-off run — failure costs simulated
+// time (the stall is billed to the owning machine), never answers.
+func TestSpreadReadsKillAnyShardMatchesHealthy(t *testing.T) {
+	ds, clusters := fixture(t, 4000, 17, 130)
+	coll := ds.Collection
+	const shards, pageSize, k = 4, 4096, 20
+
+	healthy := spreadRouterOver(t, ds, clusters, shards, 2, pageSize, RouterOptions{})
+	defer healthy.Close()
+	queryIdx := []int{3, 555, 1234, 3999}
+	rules := []search.StopRule{nil, search.ChunkBudget(6)}
+
+	for kill := 0; kill < shards; kill++ {
+		r, faults := spreadFaultRouterOver(t, ds, clusters, shards, 2, pageSize, faultstore.Config{})
+		faults[kill].Kill()
+		var got, want Result
+		for ri, stop := range rules {
+			opts := search.Options{K: k, Stop: stop}
+			for _, pos := range queryIdx {
+				label := "kill " + strconv.Itoa(kill) + "/rule" + strconv.Itoa(ri)
+				if err := healthy.SearchInto(coll.Vec(pos), opts, &want); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.SearchInto(coll.Vec(pos), opts, &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Degraded || got.ChunksSkipped != 0 {
+					t.Fatalf("%s q%d: degraded (skipped %d) despite live replicas", label, pos, got.ChunksSkipped)
+				}
+				sameAnswer(t, label+"/search", &got, &want)
+
+				if err := healthy.SearchGlobalInto(coll.Vec(pos), opts, &want); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.SearchGlobalInto(coll.Vec(pos), opts, &got); err != nil {
+					t.Fatal(err)
+				}
+				if got.Degraded || got.ChunksSkipped != 0 {
+					t.Fatalf("%s q%d global: degraded despite live replicas", label, pos)
+				}
+				sameAnswer(t, label+"/global", &got, &want)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpreadReadsConcurrentKillStress drives the spread-on failover path
+// under -race: single-query scatters race a batch workload on the same
+// router while a shard dies mid-flight (with transient read faults and
+// injected latency stirring the interleavings, pinned by
+// REPRO_FAULT_SEED). Every query must complete without error or
+// degradation, and the billed estimator's rollbacks must leave the load
+// accounting consistent.
+func TestSpreadReadsConcurrentKillStress(t *testing.T) {
+	ds, clusters := fixture(t, 4000, 71, 130)
+	coll := ds.Collection
+	const shards, pageSize, k = 4, 4096, 15
+
+	r, faults := spreadFaultRouterOver(t, ds, clusters, shards, 2, pageSize,
+		faultstore.Config{Seed: faultSeed(t), TransientProb: 0.05, Latency: 50 * time.Microsecond})
+	defer r.Close()
+
+	queries := make([]vec.Vector, 32)
+	for i := range queries {
+		queries[i] = coll.Vec(i * 111)
+	}
+	var wg sync.WaitGroup
+	searchErrs := make([]error, 8)
+	for g := range searchErrs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var res Result
+			for i := 0; i < 4; i++ {
+				q := coll.Vec((g*997 + i*313) % coll.Len())
+				if err := r.SearchInto(q, search.Options{K: k}, &res); err != nil {
+					searchErrs[g] = err
+					return
+				}
+				if res.Degraded {
+					searchErrs[g] = errDegraded
+					return
+				}
+			}
+		}(g)
+	}
+	done := make(chan error, 1)
+	results := make([]search.Result, len(queries))
+	go func() {
+		done <- r.RunBatch(queries, batchexec.Options{K: k}, results)
+	}()
+	faults[1].Kill()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for g, err := range searchErrs {
+		if err != nil {
+			t.Fatalf("scatter goroutine %d: %v", g, err)
+		}
+	}
+	for qi := range results {
+		if results[qi].Degraded {
+			t.Fatalf("q%d: degraded despite R=2", qi)
+		}
+		if len(results[qi].Neighbors) != k {
+			t.Fatalf("q%d: %d neighbors", qi, len(results[qi].Neighbors))
+		}
+	}
+	for s, ld := range r.ShardLoads(nil) {
+		if ld.Reads < 0 || ld.Billed < 0 {
+			t.Fatalf("shard %d: negative load accounting after rollbacks: %+v", s, ld)
+		}
+	}
+}
+
+// errDegraded reports an unexpectedly degraded result in the stress test.
+var errDegraded = degradedError{}
+
+type degradedError struct{}
+
+func (degradedError) Error() string { return "unexpected degraded result with R=2" }

@@ -137,6 +137,22 @@ type BuildConfig struct {
 	// decoded-chunk cache of that many bytes (see OpenConfig.CacheBytes
 	// for the contract). Zero builds without a cache.
 	CacheBytes int64
+	// HeatBalance, with a non-nil workload sample in BuildReplicated,
+	// balances *primary* placement by expected served load (sample heat ×
+	// padded chunk bytes) instead of storage bytes alone, so hot clusters
+	// spread across the shards and the hottest shard stops dominating the
+	// merged Simulated under a skewed workload. Deterministic, and the
+	// identity on one shard. Without a sample (or with one that never
+	// hits a cluster) it falls back to the byte-balanced placement.
+	// Sharded builds only; ignored by Build.
+	HeatBalance bool
+	// SpreadReads turns on the spread-reads routing policy of a
+	// replicated sharded build: every read is served by the live copy
+	// (primary or replica) with the least billed simulated load, instead
+	// of the primary whenever it is healthy. Results are byte-identical
+	// either way — only Simulated and the per-shard load split move. See
+	// ShardedIndex.SetSpreadReads. Sharded builds only; ignored by Build.
+	SpreadReads bool
 }
 
 // Index is a searchable chunk index plus its build provenance.

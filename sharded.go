@@ -82,8 +82,10 @@ func BuildSharded(coll *Collection, cfg BuildConfig, shards int) (*ShardedIndex,
 // sample, when non-nil, is a recorded workload sample (e.g. a slice of
 // DatasetQueries): replicas of the clusters the sample hits most are
 // placed first onto the least-loaded shards, following the
-// hot-cluster-replication strategy of Tavenard et al. A nil sample
-// places replicas round-robin.
+// hot-cluster-replication strategy of Tavenard et al — and, with
+// cfg.HeatBalance, the *primary* placement itself is balanced by the
+// sample's heat instead of bytes alone. A nil sample places replicas
+// round-robin (and makes HeatBalance a no-op).
 func BuildReplicated(coll *Collection, cfg BuildConfig, shards, replication int, sample []Vector) (*ShardedIndex, error) {
 	clusters, outliers, err := buildClusters(coll, cfg)
 	if err != nil {
@@ -94,7 +96,11 @@ func BuildReplicated(coll *Collection, cfg BuildConfig, shards, replication int,
 	if len(sample) > 0 {
 		heat = shard.Heat(clusters, sample, 0)
 	}
-	placement, err := shard.PartitionReplicated(clusters, shards, replication, coll.Dims(), pageSize, heat)
+	partition := shard.PartitionReplicated
+	if cfg.HeatBalance {
+		partition = shard.PartitionReplicatedHeated
+	}
+	placement, err := partition(clusters, shards, replication, coll.Dims(), pageSize, heat)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +111,10 @@ func BuildReplicated(coll *Collection, cfg BuildConfig, shards, replication int,
 		parts[s] = shard.Select(clusters, idxs)
 		stores[s] = chunkfile.NewMemStore(coll, parts[s], pageSize)
 	}
-	router, err := shard.NewReplicatedRouterCached(stores, placement, nil, shard.CacheConfig{Bytes: cfg.CacheBytes})
+	router, err := shard.NewReplicatedRouterWith(stores, placement, nil, shard.RouterOptions{
+		Cache:       shard.CacheConfig{Bytes: cfg.CacheBytes},
+		SpreadReads: cfg.SpreadReads,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -169,9 +178,15 @@ func openSharded(dir string, cfg OpenConfig) (*ShardedIndex, error) {
 	cache := shard.CacheConfig{Bytes: cfg.CacheBytes}
 	var router *shard.Router
 	if placement != nil {
-		router, err = shard.NewReplicatedRouterCached(shardStores, placement, nil, cache)
+		router, err = shard.NewReplicatedRouterWith(shardStores, placement, nil, shard.RouterOptions{
+			Cache:       cache,
+			SpreadReads: cfg.SpreadReads,
+		})
 	} else {
 		router, err = shard.NewRouterCached(shardStores, nil, cache)
+		if err == nil {
+			router.SetSpreadReads(cfg.SpreadReads)
+		}
 	}
 	if err != nil {
 		closeAll()
@@ -228,6 +243,28 @@ func (sx *ShardedIndex) ProbeShard(s int) error { return sx.router.ProbeShard(s)
 // ResetHealth returns every shard to rotation — the "operator replaced
 // the disk" switch.
 func (sx *ShardedIndex) ResetHealth() { sx.router.ResetHealth() }
+
+// SetSpreadReads toggles the spread-reads routing policy at serving
+// time: with it on, every chunk read is served by the live copy (primary
+// or replica) with the least billed simulated load, so hot chunks with
+// replication stop concentrating on their primary shard, and Simulated
+// reports the fold of what each machine really served. Results are
+// byte-identical either way — only Simulated and the per-shard load
+// split move — and down-shard failover, health, and cache semantics are
+// unchanged. Safe to call concurrently with searches.
+func (sx *ShardedIndex) SetSpreadReads(on bool) { sx.router.SetSpreadReads(on) }
+
+// SpreadReads reports whether the spread-reads routing policy is on.
+func (sx *ShardedIndex) SpreadReads() bool { return sx.router.SpreadReads() }
+
+// ShardLoad is one shard's serving-load counters; see
+// ShardedIndex.ShardLoads.
+type ShardLoad = shard.ShardLoad
+
+// ShardLoads returns per-shard serving-load counters — reads each shard
+// actually served and, with spread reads on, the simulated serving time
+// billed to it — cumulative since construction or the last ResetHealth.
+func (sx *ShardedIndex) ShardLoads() []ShardLoad { return sx.router.ShardLoads(nil) }
 
 // Search runs one query scatter-gather across the shards.
 func (sx *ShardedIndex) Search(q Vector, opts SearchOptions) (*Result, error) {
